@@ -1,0 +1,24 @@
+# Convenience targets for the IP-leasing reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report data clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli report --out REPORT.md
+
+data:
+	$(PYTHON) -m repro.cli generate --out data/
+
+clean:
+	rm -rf data/ REPORT.md .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

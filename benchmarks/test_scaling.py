@@ -1,0 +1,46 @@
+"""Pipeline scaling: generation and inference cost vs world size.
+
+Not a paper experiment — an engineering bench documenting that both the
+generator and the inference scale roughly linearly in the number of
+blocks, so the 1/50-scale default is a convenience, not a ceiling.
+"""
+
+import pytest
+
+from repro.core import LeaseInferencePipeline
+from repro.simulation import build_world, paper_world
+
+
+@pytest.mark.parametrize("scale", [400, 100])
+def test_world_generation_scaling(benchmark, scale):
+    scenario = paper_world(scale=scale)
+    world = benchmark.pedantic(build_world, args=(scenario,), rounds=1)
+    assert world.whois.total_inetnums() > scenario.total_leaves
+    print()
+    print(
+        f"scale 1/{scale}: {world.whois.total_inetnums():,} blocks, "
+        f"{world.routing_table.num_prefixes():,} BGP prefixes"
+    )
+
+
+@pytest.mark.parametrize("scale", [400, 100])
+def test_inference_scaling(benchmark, scale):
+    world = build_world(paper_world(scale=scale))
+
+    def run():
+        return LeaseInferencePipeline(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=2)
+    assert result.total_classified() > 0
+    leaves_per_second = result.total_classified() / benchmark.stats["mean"]
+    print()
+    print(
+        f"scale 1/{scale}: {result.total_classified():,} leaves classified "
+        f"({leaves_per_second:,.0f} leaves/s)"
+    )
+    assert leaves_per_second > 1_000

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Longitudinal lease-market dynamics (the paper's §8 future work).
+
+Simulates two measurement epochs half a year apart: between them, some
+leases end (blocks withdrawn or returned), some blocks are re-leased to
+new lessees, and fresh leases appear on previously idle space.  The
+churn analysis quantifies market turnover the way a longitudinal rerun
+of the paper's pipeline would.
+
+Run with::
+
+    python examples/market_dynamics.py [--scale 100]
+"""
+
+import argparse
+
+from repro.bgp import RoutingTable
+from repro.core import Category, LeaseInferencePipeline, compare_epochs
+from repro.rir import RIR
+from repro.simulation import build_world, paper_world
+
+
+def second_epoch_table(world, inference, rng_step: int = 7):
+    """Derive the later epoch's routing table from the first.
+
+    Every ``rng_step``-th lease ends; every other ``rng_step``-th is
+    re-leased to a new origin; a handful of unused blocks become leases.
+    """
+    leased = sorted(inference.leased(), key=lambda inf: inf.prefix)
+    ended = {inf.prefix for inf in leased[::rng_step]}
+    re_leased = {inf.prefix for inf in leased[rng_step // 2 :: rng_step]}
+    fresh = [
+        inf.prefix
+        for inf in inference.in_category(Category.UNUSED)[:: rng_step * 3]
+    ]
+    table = RoutingTable()
+    for prefix, origins in world.routing_table.items():
+        if prefix in ended:
+            continue
+        for origin in origins:
+            table.add_route(
+                prefix, 64_900 if prefix in re_leased else origin
+            )
+    for index, prefix in enumerate(fresh):
+        table.add_route(prefix, 64_910 + (index % 5))
+    return table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=20240401)
+    args = parser.parse_args()
+
+    world = build_world(paper_world(seed=args.seed, scale=args.scale))
+
+    def infer(table):
+        return LeaseInferencePipeline(
+            world.whois, table, world.relationships, world.as2org
+        ).run()
+
+    epoch1 = infer(world.routing_table)
+    epoch2 = infer(second_epoch_table(world, epoch1))
+    churn = compare_epochs(epoch1, epoch2)
+
+    print("Lease-market churn between the two epochs:")
+    print(f"  epoch 1 leases : {epoch1.total_leased():,}")
+    print(f"  epoch 2 leases : {epoch2.total_leased():,}")
+    print(f"  ended          : {len(churn.ended_leases):,}")
+    print(f"  new            : {len(churn.new_leases):,}")
+    print(f"  persisting     : {len(churn.persisting):,}")
+    print(f"  re-leased      : {len(churn.re_leased):,} (same block, new lessee)")
+    print(f"  turnover rate  : {churn.turnover_rate:.1%}")
+    print(f"  growth rate    : {churn.growth_rate:+.1%}")
+    print()
+    print("Per-region churn (new / ended / persisting / re-leased):")
+    for rir in RIR:
+        region = churn.by_rir[rir]
+        print(
+            f"  {rir.name:<8} {region.new:>4} / {region.ended:>4} / "
+            f"{region.persisting:>4} / {region.re_leased:>4}"
+        )
+
+
+if __name__ == "__main__":
+    main()

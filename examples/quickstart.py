@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Fig. 2 worked example, end to end.
+
+Builds a five-object WHOIS registry by hand (a holder, its ASN, a
+portable /18 and two sub-assignments), a two-route BGP table, and an AS
+relationship file, then runs the inference and explains each verdict.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.asdata import ASRelationships
+from repro.bgp import P2C, RoutingTable
+from repro.core import LeaseInferencePipeline
+from repro.net import AddressRange, Prefix
+from repro.reporting import render_table1
+from repro.rir import RIR
+from repro.whois import AutNumRecord, InetnumRecord, OrgRecord, WhoisDatabase
+
+
+def build_registry() -> WhoisDatabase:
+    """The WHOIS side of Fig. 2: GCI Network and its sub-assignments."""
+    database = WhoisDatabase(RIR.RIPE)
+    database.add(
+        OrgRecord(rir=RIR.RIPE, org_id="ORG-GCI1-RIPE", name="GCI Network")
+    )
+    database.add(
+        AutNumRecord(
+            rir=RIR.RIPE, asn=8851, org_id="ORG-GCI1-RIPE", as_name="GCI-AS"
+        )
+    )
+    # The portable root: allocated to GCI by the RIPE NCC.
+    database.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.0.0 - 213.210.63.255"),
+            status="ALLOCATED PA",
+            org_id="ORG-GCI1-RIPE",
+            maintainers=("MNT-GCICOM",),
+            net_name="GCI-NET",
+        )
+    )
+    # A sub-assignment maintained by a facilitator (IPXO).
+    database.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.33.0 - 213.210.33.255"),
+            status="ASSIGNED PA",
+            maintainers=("IPXO-MNT",),
+            net_name="IPXO-LEASED",
+        )
+    )
+    # An ordinary customer sub-assignment, maintained by GCI itself.
+    database.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.2.0 - 213.210.3.255"),
+            status="ASSIGNED PA",
+            maintainers=("MNT-GCICOM",),
+            net_name="GCI-CUSTOMER",
+        )
+    )
+    return database
+
+
+def build_bgp() -> RoutingTable:
+    """The routing side: GCI originates its /18; AS15169 the leased /24."""
+    table = RoutingTable()
+    table.add_route(Prefix.parse("213.210.0.0/18"), 8851)
+    table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+    return table
+
+
+def build_relationships() -> ASRelationships:
+    """Both ASes buy transit from AS3356 but are unrelated to each other."""
+    relationships = ASRelationships()
+    relationships.add(3356, 8851, P2C)
+    relationships.add(3356, 15169, P2C)
+    return relationships
+
+
+def main() -> None:
+    database = build_registry()
+    pipeline = LeaseInferencePipeline(
+        database, build_bgp(), build_relationships()
+    )
+    result = pipeline.run()
+
+    print(render_table1(result))
+    print()
+    for inference in result:
+        roles = (
+            f"holder={inference.holder_org_id} "
+            f"facilitator={','.join(inference.facilitator_handles)} "
+            f"origins={sorted(inference.originators) or '-'}"
+        )
+        print(
+            f"{str(inference.prefix):>18}  ->  "
+            f"{inference.category.label:<20} (group "
+            f"{inference.category.group})  {roles}"
+        )
+    print()
+    leased = result.lookup(Prefix.parse("213.210.33.0/24"))
+    print(
+        "213.210.33.0/24 is inferred LEASED because its BGP origin "
+        f"(AS{min(leased.leaf_origins)}) is related neither to the ASN "
+        f"assigned to its address provider (AS{min(leased.root_assigned_asns)}) "
+        "nor to the BGP origin of the portable parent prefix "
+        f"(AS{min(leased.root_origins)})."
+    )
+
+
+if __name__ == "__main__":
+    main()

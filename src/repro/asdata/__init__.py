@@ -1,0 +1,7 @@
+"""AS metadata substrates: relationships, AS2org, and hijacker lists."""
+
+from .as2org import AS2Org
+from .hijackers import SerialHijackerList
+from .relationships import ASRelationships
+
+__all__ = ["AS2Org", "ASRelationships", "SerialHijackerList"]

@@ -1,0 +1,47 @@
+"""BGP substrate: paths, RIBs, table dumps, topology, and propagation."""
+
+from .aspath import ASPath
+from .collector import (
+    Announcement,
+    Collector,
+    build_routing_table,
+    collect_rib,
+)
+from .history import (
+    AnnounceUpdate,
+    UpdateStream,
+    WithdrawUpdate,
+    format_update,
+    parse_update_line,
+)
+from .mrt import MrtError, read_mrt, write_mrt
+from .rib import RibEntry, RoutingTable
+from .simulator import Route, RouteKind, propagate
+from .table_dump import read_table_dump, write_table_dump
+from .topology import P2C, P2P, ASTopology
+
+__all__ = [
+    "ASPath",
+    "ASTopology",
+    "AnnounceUpdate",
+    "Announcement",
+    "Collector",
+    "MrtError",
+    "P2C",
+    "P2P",
+    "RibEntry",
+    "Route",
+    "RouteKind",
+    "RoutingTable",
+    "UpdateStream",
+    "WithdrawUpdate",
+    "build_routing_table",
+    "collect_rib",
+    "format_update",
+    "parse_update_line",
+    "propagate",
+    "read_mrt",
+    "read_table_dump",
+    "write_mrt",
+    "write_table_dump",
+]

@@ -1,0 +1,128 @@
+"""Gao–Rexford route propagation over an AS topology.
+
+Given one origin AS, computes the best route every other AS selects under
+the standard policy model:
+
+* **Export**: routes learned from customers are exported to everyone;
+  routes learned from peers or providers are exported to customers only
+  (valley-free routing).
+* **Selection**: prefer customer-learned over peer-learned over
+  provider-learned routes; among equals prefer the shortest AS path; break
+  remaining ties on the lowest next-hop ASN (deterministic).
+
+The result feeds the synthetic collectors: a collector peer's selected
+route for an origin becomes that origin's RIB rows for every prefix it
+announces.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .topology import ASTopology
+
+__all__ = ["RouteKind", "Route", "propagate"]
+
+
+class RouteKind(enum.IntEnum):
+    """How an AS learned its best route; lower is preferred."""
+
+    ORIGIN = 0
+    CUSTOMER = 1
+    PEER = 2
+    PROVIDER = 3
+
+
+@dataclass(frozen=True)
+class Route:
+    """The route selected by one AS: its full path down to the origin."""
+
+    path: Tuple[int, ...]
+    kind: RouteKind
+
+    @property
+    def origin(self) -> int:
+        """The origin AS."""
+        return self.path[-1]
+
+    @property
+    def length(self) -> int:
+        """AS-path length."""
+        return len(self.path)
+
+
+def propagate(topology: ASTopology, origin: int) -> Dict[int, Route]:
+    """Best route per AS for prefixes originated by *origin*.
+
+    ASes that never hear the announcement are absent from the result.
+    """
+    if origin not in topology:
+        return {}
+    routes: Dict[int, Route] = {
+        origin: Route(path=(origin,), kind=RouteKind.ORIGIN)
+    }
+
+    # Phase 1 — customer routes climb provider links (BFS by path length,
+    # lowest-ASN parent wins ties because candidates are scanned sorted).
+    frontier = deque([origin])
+    while frontier:
+        current = frontier.popleft()
+        route = routes[current]
+        for provider in sorted(topology.providers(current)):
+            candidate = Route(
+                path=(provider,) + route.path, kind=RouteKind.CUSTOMER
+            )
+            if _better(candidate, routes.get(provider)):
+                routes[provider] = candidate
+                frontier.append(provider)
+
+    # Phase 2 — one peer hop: ASes holding customer (or origin) routes
+    # export them across p2p links.
+    customer_routed = [
+        asn
+        for asn, route in routes.items()
+        if route.kind in (RouteKind.ORIGIN, RouteKind.CUSTOMER)
+    ]
+    peer_offers: Dict[int, Route] = {}
+    for asn in sorted(customer_routed):
+        route = routes[asn]
+        for peer in sorted(topology.peers(asn)):
+            if peer in routes:
+                continue  # already has a customer route: preferred
+            candidate = Route(path=(peer,) + route.path, kind=RouteKind.PEER)
+            if _better(candidate, peer_offers.get(peer)):
+                peer_offers[peer] = candidate
+    routes.update(peer_offers)
+
+    # Phase 3 — descent: every routed AS exports to its customers;
+    # provider-learned routes cascade further down.  BFS ordered by path
+    # length keeps selection consistent with shortest-path preference.
+    frontier = deque(sorted(routes, key=lambda asn: routes[asn].length))
+    while frontier:
+        current = frontier.popleft()
+        route = routes[current]
+        for customer in sorted(topology.customers(current)):
+            candidate = Route(
+                path=(customer,) + route.path, kind=RouteKind.PROVIDER
+            )
+            existing = routes.get(customer)
+            if existing is not None and existing.kind is not RouteKind.PROVIDER:
+                continue  # customer/peer routes beat provider routes
+            if _better(candidate, existing):
+                routes[customer] = candidate
+                frontier.append(customer)
+    return routes
+
+
+def _better(candidate: Route, incumbent: Optional[Route]) -> bool:
+    """Gao–Rexford preference: kind, then length, then lowest next hop."""
+    if incumbent is None:
+        return True
+    if candidate.kind is not incumbent.kind:
+        return candidate.kind < incumbent.kind
+    if candidate.length != incumbent.length:
+        return candidate.length < incumbent.length
+    return candidate.path < incumbent.path

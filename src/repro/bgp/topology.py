@@ -1,0 +1,144 @@
+"""AS-level topology: providers, customers, and peers.
+
+Relationships follow the CAIDA convention used by the paper's AS
+Relationships dataset: provider-to-customer (p2c, coded ``-1`` as
+``provider|customer|-1``) and peer-to-peer (p2p, coded ``0``).  The
+topology both drives the route-propagation simulator and is exported as
+the serial-1 relationship file the inference consumes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+__all__ = ["P2C", "P2P", "ASTopology"]
+
+#: CAIDA serial-1 relationship codes.
+P2C = -1
+P2P = 0
+
+
+class ASTopology:
+    """A mutable AS graph with p2c and p2p edges."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[int, Set[int]] = {}
+        self._customers: Dict[int, Set[int]] = {}
+        self._peers: Dict[int, Set[int]] = {}
+        self._cone_cache: Dict[int, FrozenSet[int]] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_asn(self, asn: int) -> None:
+        """Ensure *asn* exists (possibly with no links)."""
+        self._providers.setdefault(asn, set())
+        self._customers.setdefault(asn, set())
+        self._peers.setdefault(asn, set())
+
+    def add_p2c(self, provider: int, customer: int) -> None:
+        """Add a provider→customer (transit) link."""
+        if provider == customer:
+            raise ValueError(f"self link on AS{provider}")
+        self.add_asn(provider)
+        self.add_asn(customer)
+        self._customers[provider].add(customer)
+        self._providers[customer].add(provider)
+        self._cone_cache.clear()
+
+    def add_p2p(self, left: int, right: int) -> None:
+        """Add a settlement-free peering link."""
+        if left == right:
+            raise ValueError(f"self peering on AS{left}")
+        self.add_asn(left)
+        self.add_asn(right)
+        self._peers[left].add(right)
+        self._peers[right].add(left)
+
+    # -- queries ------------------------------------------------------------
+    def asns(self) -> List[int]:
+        """All ASNs, ascending."""
+        return sorted(self._providers)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._providers
+
+    def __len__(self) -> int:
+        return len(self._providers)
+
+    def providers(self, asn: int) -> Set[int]:
+        """Direct providers of *asn* (copy)."""
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> Set[int]:
+        """Direct customers of *asn* (copy)."""
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> Set[int]:
+        """Settlement-free peers of *asn* (copy)."""
+        return set(self._peers.get(asn, ()))
+
+    def degree(self, asn: int) -> int:
+        """Total neighbor count."""
+        return (
+            len(self._providers.get(asn, ()))
+            + len(self._customers.get(asn, ()))
+            + len(self._peers.get(asn, ()))
+        )
+
+    def is_stub(self, asn: int) -> bool:
+        """True when *asn* has no customers (edge AS)."""
+        return not self._customers.get(asn)
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate ``(a, b, code)`` edges in CAIDA orientation.
+
+        p2c edges appear once as ``(provider, customer, P2C)``; p2p edges
+        appear once with ``a < b``.
+        """
+        for provider in sorted(self._customers):
+            for customer in sorted(self._customers[provider]):
+                yield provider, customer, P2C
+        for left in sorted(self._peers):
+            for right in sorted(self._peers[left]):
+                if left < right:
+                    yield left, right, P2P
+
+    # -- derived structure ---------------------------------------------------
+    def customer_cone(self, asn: int) -> FrozenSet[int]:
+        """The customer cone of *asn*: itself plus transitive customers.
+
+        Cached; mutating p2c links invalidates the cache.
+        """
+        cached = self._cone_cache.get(asn)
+        if cached is not None:
+            return cached
+        cone: Set[int] = {asn}
+        queue = deque(self._customers.get(asn, ()))
+        while queue:
+            current = queue.popleft()
+            if current in cone:
+                continue
+            cone.add(current)
+            queue.extend(self._customers.get(current, ()))
+        frozen = frozenset(cone)
+        self._cone_cache[asn] = frozen
+        return frozen
+
+    def clique(self) -> List[int]:
+        """Provider-free ASes (the transit top, tier-1-like)."""
+        return [asn for asn in self.asns() if not self._providers[asn]]
+
+    def has_transit_path_to_top(self, asn: int) -> bool:
+        """True when a provider chain reaches a provider-free AS."""
+        seen: Set[int] = set()
+        queue = deque([asn])
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            providers = self._providers.get(current, set())
+            if not providers:
+                return True
+            queue.extend(providers)
+        return False

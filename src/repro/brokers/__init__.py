@@ -1,0 +1,18 @@
+"""Broker substrate: registered-broker lists and org-name matching."""
+
+from .matching import (
+    BrokerMatch,
+    MatchReport,
+    match_brokers,
+    normalize_company_name,
+)
+from .registry import BrokerRegistry, RegisteredBroker
+
+__all__ = [
+    "BrokerMatch",
+    "BrokerRegistry",
+    "MatchReport",
+    "RegisteredBroker",
+    "match_brokers",
+    "normalize_company_name",
+]

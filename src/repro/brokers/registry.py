@@ -1,0 +1,79 @@
+"""Registered IP broker lists.
+
+§4 of the paper assembles 162 registered brokers: 115 from the archived
+RIPE "recognized brokers" page, 38 APNIC "registered brokers", and 9
+ARIN "qualified facilitators".  This module models those lists with a
+simple CSV on-disk format (``rir,name``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List
+
+from ..rir import RIR
+
+__all__ = ["RegisteredBroker", "BrokerRegistry"]
+
+
+@dataclass(frozen=True)
+class RegisteredBroker:
+    """One broker as listed by an RIR (name as published, possibly messy)."""
+
+    rir: RIR
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name.strip():
+            raise ValueError("broker name must be non-empty")
+
+
+class BrokerRegistry:
+    """Registered brokers grouped by listing RIR."""
+
+    def __init__(self, brokers: Iterable[RegisteredBroker] = ()) -> None:
+        self._by_rir: Dict[RIR, List[RegisteredBroker]] = {}
+        for broker in brokers:
+            self.add(broker)
+
+    def add(self, broker: RegisteredBroker) -> None:
+        """Register one broker."""
+        self._by_rir.setdefault(broker.rir, []).append(broker)
+
+    def brokers(self, rir: RIR) -> List[RegisteredBroker]:
+        """Brokers listed by *rir* (copy)."""
+        return list(self._by_rir.get(rir, ()))
+
+    def all_brokers(self) -> List[RegisteredBroker]:
+        """All brokers across registries."""
+        result: List[RegisteredBroker] = []
+        for rir in sorted(self._by_rir, key=lambda r: r.name):
+            result.extend(self._by_rir[rir])
+        return result
+
+    def __len__(self) -> int:
+        return sum(len(brokers) for brokers in self._by_rir.values())
+
+    def __iter__(self) -> Iterator[RegisteredBroker]:
+        return iter(self.all_brokers())
+
+    # -- CSV format --------------------------------------------------------
+    @classmethod
+    def from_csv(cls, text: str) -> "BrokerRegistry":
+        """Parse ``rir,name`` CSV (header optional, ``#`` comments)."""
+        registry = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#") or line.lower().startswith("rir,"):
+                continue
+            rir_text, _, name = line.partition(",")
+            registry.add(RegisteredBroker(RIR.parse(rir_text), name.strip()))
+        return registry
+
+    def to_csv(self) -> str:
+        """Serialize to ``rir,name`` CSV with a header."""
+        lines = ["rir,name"]
+        lines.extend(
+            f"{broker.rir.value},{broker.name}" for broker in self.all_brokers()
+        )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,407 @@
+"""Command-line interface.
+
+Subcommands mirror the paper's workflow::
+
+    repro generate --out data/          # synthesize the §4 datasets
+    repro infer --data data/            # §5 inference -> Table 1
+    repro evaluate --data data/         # §5.3/§6.2 -> Table 2
+    repro holders --data data/          # §6.3 -> Table 3
+    repro abuse --data data/            # §6.3/§6.4 statistics
+    repro timeline                      # Fig. 3 for the featured prefix
+    repro run-all                       # everything, in memory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import (
+    BgpOriginHistory,
+    RelatednessOracle,
+    build_timeline,
+    curate_reference,
+    drop_correlation,
+    evaluate_inference,
+    hijacker_overlap,
+    infer_leases,
+    infer_legacy_leases,
+    roa_abuse_analysis,
+    top_holders,
+    validation_profile,
+)
+from .reporting import (
+    render_drop_stats,
+    render_hijacker_stats,
+    render_roa_stats,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_timeline,
+)
+from .simulation import build_world, paper_world, small_world
+from .simulation.io import DatasetBundle, load_datasets, write_world
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "generate": _cmd_generate,
+        "infer": _cmd_infer,
+        "evaluate": _cmd_evaluate,
+        "holders": _cmd_holders,
+        "abuse": _cmd_abuse,
+        "legacy": _cmd_legacy,
+        "lint": _cmd_lint,
+        "release": _cmd_release,
+        "rpki": _cmd_rpki,
+        "timeline": _cmd_timeline,
+        "run-all": _cmd_run_all,
+        "report": _cmd_report,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IP-leasing inference (IMC 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def add_scenario_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=20240401)
+        p.add_argument(
+            "--scale",
+            type=int,
+            default=50,
+            help="1/scale of the April 2024 Internet (default 50)",
+        )
+        p.add_argument(
+            "--small",
+            action="store_true",
+            help="use the tiny test scenario instead of the paper world",
+        )
+        p.add_argument(
+            "--config",
+            type=Path,
+            default=None,
+            help="load generation parameters from a scenario JSON file",
+        )
+
+    generate = sub.add_parser(
+        "generate", help="synthesize the datasets to a directory"
+    )
+    add_scenario_options(generate)
+    generate.add_argument("--out", type=Path, required=True)
+    generate.add_argument(
+        "--check",
+        action="store_true",
+        help="validate cross-dataset consistency before writing",
+    )
+
+    for name, helptext in (
+        ("infer", "run lease inference and print Table 1"),
+        ("evaluate", "curate the reference dataset and print Table 2"),
+        ("holders", "print Table 3 (top holders per RIR)"),
+        ("abuse", "print the hijacker/DROP/ROA statistics"),
+        ("legacy", "run the legacy-space lease inference extension"),
+        ("rpki", "print RPKI validation profiles for leased vs other"),
+        ("lint", "run structural checks over the WHOIS databases"),
+    ):
+        command = sub.add_parser(name, help=helptext)
+        command.add_argument("--data", type=Path, required=True)
+
+    timeline = sub.add_parser(
+        "timeline", help="print the Fig. 3 lease timeline"
+    )
+    add_scenario_options(timeline)
+    timeline.add_argument(
+        "--data",
+        type=Path,
+        default=None,
+        help="load the featured prefix from a generated dataset directory",
+    )
+
+    run_all = sub.add_parser(
+        "run-all", help="generate in memory and print every table"
+    )
+    add_scenario_options(run_all)
+
+    report = sub.add_parser(
+        "report", help="write the full Markdown reproduction report"
+    )
+    add_scenario_options(report)
+    report.add_argument("--out", type=Path, default=None)
+
+    release = sub.add_parser(
+        "release",
+        help="export the Appendix C artifacts (inferred leases, labels)",
+    )
+    release.add_argument("--data", type=Path, required=True)
+    release.add_argument("--out", type=Path, required=True)
+    return parser
+
+
+def _scenario(args: argparse.Namespace):
+    if getattr(args, "config", None) is not None:
+        from .simulation.scenario_io import load_scenario_file
+
+        return load_scenario_file(args.config)
+    if args.small:
+        return small_world(seed=args.seed)
+    return paper_world(seed=args.seed, scale=args.scale)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    world = build_world(_scenario(args))
+    if getattr(args, "check", False):
+        from .simulation.validate import validate_world
+
+        problems = validate_world(world)
+        if problems:
+            for problem in problems:
+                print(f"inconsistency: {problem}")
+            return 1
+        print("world consistency check passed")
+    write_world(world, args.out)
+    print(f"wrote datasets for {len(world.ground_truth)} labelled blocks "
+          f"to {args.out}")
+    return 0
+
+
+def _infer_bundle(bundle: DatasetBundle):
+    return infer_leases(
+        bundle.whois,
+        bundle.routing_table,
+        bundle.relationships,
+        bundle.as2org,
+    )
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    print(render_table1(result, bundle.routing_table.num_prefixes()))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    reference = curate_reference(
+        bundle.whois,
+        bundle.broker_registry,
+        bundle.routing_table,
+        not_leased_exclusions=bundle.curation_exclusions,
+        negative_isp_org_ids=bundle.negative_isp_org_ids,
+    )
+    report = evaluate_inference(result, reference)
+    print(render_table2(report.matrix))
+    print(
+        f"\nFalse negatives: {report.fn_unused} inactive (Unused), "
+        f"{report.fn_invisible} outside the tree (legacy)"
+    )
+    return 0
+
+
+def _cmd_holders(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    print(render_table3(top_holders(result, bundle.whois, 3)))
+    return 0
+
+
+def _cmd_abuse(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    drop = bundle.drop_archive.union()
+    print(render_hijacker_stats(
+        hijacker_overlap(result, bundle.routing_table, bundle.hijackers)
+    ))
+    print()
+    print(render_drop_stats(
+        drop_correlation(result, bundle.routing_table, drop)
+    ))
+    print()
+    leased = result.leased_prefixes()
+    non_leased = set(bundle.routing_table.prefixes()) - leased
+    print(render_roa_stats(
+        roa_abuse_analysis(leased, bundle.roas, drop),
+        roa_abuse_analysis(non_leased, bundle.roas, drop),
+    ))
+    return 0
+
+
+def _cmd_legacy(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    oracle = RelatednessOracle(bundle.relationships, bundle.as2org)
+    verdicts = infer_legacy_leases(
+        bundle.whois, bundle.routing_table, oracle
+    )
+    by_verdict: dict = {}
+    for inference in verdicts:
+        by_verdict.setdefault(inference.verdict.value, []).append(inference)
+    print(f"{len(verdicts)} registered legacy blocks:")
+    for verdict, group in sorted(by_verdict.items()):
+        print(f"  {verdict:<10} {len(group)}")
+    for inference in by_verdict.get("leased", []):
+        origins = ",".join(f"AS{a}" for a in sorted(inference.origins))
+        print(f"    leased: {inference.prefix} originated by {origins}")
+    return 0
+
+
+def _cmd_rpki(args: argparse.Namespace) -> int:
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    leased = result.leased_prefixes()
+    other = set(bundle.routing_table.prefixes()) - leased
+    for label, population in (("leased", leased), ("non-leased", other)):
+        profile = validation_profile(
+            population, bundle.routing_table, bundle.roas
+        )
+        print(
+            f"{label:<11} announcements: {profile.total:>6}  "
+            f"valid {profile.valid_share:6.1%}  "
+            f"covered {profile.covered_share:6.1%}"
+        )
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .whois.lint import LintLevel, lint_database
+
+    bundle = load_datasets(args.data)
+    total_errors = 0
+    for database in bundle.whois:
+        issues = lint_database(database)
+        if not issues:
+            continue
+        print(f"{database.rir.name}: {len(issues)} issue(s)")
+        for issue in issues:
+            print(f"  {issue}")
+        total_errors += sum(
+            1 for issue in issues if issue.level is LintLevel.ERROR
+        )
+    if total_errors:
+        print(f"{total_errors} error(s)")
+        return 1
+    print("no errors")
+    return 0
+
+
+def _cmd_release(args: argparse.Namespace) -> int:
+    from .core.release import (
+        export_inferred_leases,
+        export_reference_dataset,
+    )
+
+    bundle = load_datasets(args.data)
+    result = _infer_bundle(bundle)
+    reference = curate_reference(
+        bundle.whois,
+        bundle.broker_registry,
+        bundle.routing_table,
+        not_leased_exclusions=bundle.curation_exclusions,
+        negative_isp_org_ids=bundle.negative_isp_org_ids,
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    leases_path = args.out / "inferred_leases.csv"
+    labels_path = args.out / "evaluation_labels.csv"
+    leases_path.write_text(export_inferred_leases(result))
+    labels_path.write_text(export_reference_dataset(reference))
+    print(
+        f"wrote {leases_path} ({result.total_leased():,} leases) and "
+        f"{labels_path} ({reference.total:,} labels)"
+    )
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    if args.data is not None:
+        bundle = load_datasets(args.data)
+        if bundle.featured is None:
+            print("no featured prefix in the dataset directory")
+            return 1
+        featured = bundle.featured
+        bgp = featured.updates.origin_history(featured.prefix)
+        timeline = build_timeline(
+            featured.prefix, bgp, featured.rpki_archive
+        )
+    else:
+        world = build_world(_scenario(args))
+        featured = world.featured
+        bgp = BgpOriginHistory()
+        for timestamp, origins in featured.bgp_observations:
+            bgp.add_observation(timestamp, origins)
+        timeline = build_timeline(
+            featured.prefix, bgp, featured.rpki_archive
+        )
+    print(render_timeline(timeline))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import build_full_report
+
+    world = build_world(_scenario(args))
+    result = infer_leases(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    text = build_full_report(world, result)
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"wrote {args.out} ({len(text):,} characters)")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    world = build_world(_scenario(args))
+    result = infer_leases(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    print(render_table1(result, world.routing_table.num_prefixes()))
+    print()
+    reference = curate_reference(
+        world.whois,
+        world.broker_registry,
+        world.routing_table,
+        not_leased_exclusions=world.curation_exclusions,
+        negative_isp_org_ids=world.negative_isp_org_ids,
+    )
+    report = evaluate_inference(result, reference)
+    print(render_table2(report.matrix))
+    print()
+    print(render_table3(top_holders(result, world.whois, 3)))
+    print()
+    drop = world.drop
+    print(render_hijacker_stats(
+        hijacker_overlap(result, world.routing_table, world.hijackers)
+    ))
+    print()
+    print(render_drop_stats(
+        drop_correlation(result, world.routing_table, drop)
+    ))
+    print()
+    leased = result.leased_prefixes()
+    non_leased = set(world.routing_table.prefixes()) - leased
+    print(render_roa_stats(
+        roa_abuse_analysis(leased, world.roas, drop),
+        roa_abuse_analysis(non_leased, world.roas, drop),
+    ))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

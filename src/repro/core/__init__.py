@@ -1,0 +1,116 @@
+"""The paper's contribution: IP lease inference and its analyses.
+
+Public surface:
+
+* :class:`LeaseInferencePipeline` / :func:`infer_leases` — §5 end to end.
+* :class:`AllocationTree` — §5.1 address allocation trees.
+* :class:`Category` / :func:`classify_leaf` — §5.2 leaf classification.
+* :func:`curate_reference` / :func:`evaluate_inference` — §5.3/§6.2.
+* :func:`maintainer_baseline` — the Prehn et al. comparison of §6.1.
+* :func:`top_holders` et al. / :func:`hijacker_overlap` — §6.3.
+* :func:`drop_correlation` / :func:`roa_abuse_analysis` — §6.4.
+* :func:`build_timeline` — Fig. 3 / §6.5.
+"""
+
+from .abuse import (
+    DropCorrelation,
+    RoaAbuseStats,
+    drop_correlation,
+    roa_abuse_analysis,
+)
+from .allocation_tree import (
+    DEFAULT_MAX_LEAF_LENGTH,
+    AllocationTree,
+    TreeLeaf,
+)
+from .baseline import maintainer_baseline
+from .classify import Category, classify_leaf
+from .ecosystem import (
+    HijackerOverlap,
+    hijacker_overlap,
+    resolve_maintainer_names,
+    top_facilitators,
+    top_holders,
+    top_originators,
+)
+from .evaluation import EvaluationReport, evaluate_inference
+from .geo import GeoConsistency, geo_consistency
+from .holders import HolderProfile, holder_profiles
+from .hijack_confusion import (
+    AlarmAttribution,
+    AlarmReport,
+    OriginChange,
+    attribute_alarms,
+    origin_changes,
+)
+from .legacy import LegacyInference, LegacyVerdict, infer_legacy_leases
+from .longitudinal import LeaseChurn, RegionChurn, compare_epochs
+from .metrics import ConfusionMatrix
+from .rpki_analysis import ValidationProfile, validation_profile
+from .stats import BootstrapCI, risk_ratio_ci, share_ci
+from .pipeline import LeaseInferencePipeline, infer_leases
+from .reference import ReferenceDataset, curate_reference
+from .relatedness import RelatednessOracle
+from .results import InferenceResult, LeafInference, RegionalTally
+from .timeline import (
+    BgpOriginHistory,
+    PeriodKind,
+    PrefixTimeline,
+    TimelinePeriod,
+    build_timeline,
+)
+
+__all__ = [
+    "AlarmAttribution",
+    "AlarmReport",
+    "AllocationTree",
+    "BgpOriginHistory",
+    "BootstrapCI",
+    "GeoConsistency",
+    "HolderProfile",
+    "OriginChange",
+    "Category",
+    "ConfusionMatrix",
+    "DEFAULT_MAX_LEAF_LENGTH",
+    "DropCorrelation",
+    "EvaluationReport",
+    "HijackerOverlap",
+    "InferenceResult",
+    "LeafInference",
+    "LeaseChurn",
+    "LeaseInferencePipeline",
+    "LegacyInference",
+    "LegacyVerdict",
+    "RegionChurn",
+    "ValidationProfile",
+    "PeriodKind",
+    "PrefixTimeline",
+    "ReferenceDataset",
+    "RegionalTally",
+    "RelatednessOracle",
+    "RoaAbuseStats",
+    "TimelinePeriod",
+    "TreeLeaf",
+    "attribute_alarms",
+    "build_timeline",
+    "classify_leaf",
+    "compare_epochs",
+    "origin_changes",
+    "resolve_maintainer_names",
+    "curate_reference",
+    "geo_consistency",
+    "holder_profiles",
+    "infer_legacy_leases",
+    "risk_ratio_ci",
+    "share_ci",
+    "validation_profile",
+    "drop_correlation",
+    "evaluate_inference",
+    "hijacker_overlap",
+    "infer_leases",
+    "maintainer_baseline",
+    "roa_abuse_analysis",
+    "top_facilitators",
+    "top_holders",
+    "top_originators",
+]

@@ -1,0 +1,133 @@
+"""Abuse correlation (§6.4): DROP origination and ROA blocklist analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from ..abuse.dropdb import AsnDropList
+from ..bgp.rib import RoutingTable
+from ..net import Prefix
+from ..rpki.roa import RoaSet
+from .results import InferenceResult
+
+__all__ = [
+    "DropCorrelation",
+    "drop_correlation",
+    "RoaAbuseStats",
+    "roa_abuse_analysis",
+]
+
+
+@dataclass(frozen=True)
+class DropCorrelation:
+    """Leased vs non-leased origination by blocklisted ASes.
+
+    The paper's headline: 1.1% of leased prefixes vs 0.2% of non-leased —
+    "leased prefixes are approximately five times more likely to be
+    advertised by an AS considered abusive by Spamhaus".
+    """
+
+    leased_prefixes: int
+    leased_by_blocklisted: int
+    non_leased_prefixes: int
+    non_leased_by_blocklisted: int
+
+    @property
+    def leased_share(self) -> float:
+        """Blocklisted-origin share among leased prefixes."""
+        return _share(self.leased_by_blocklisted, self.leased_prefixes)
+
+    @property
+    def non_leased_share(self) -> float:
+        """Blocklisted-origin share among non-leased prefixes."""
+        return _share(self.non_leased_by_blocklisted, self.non_leased_prefixes)
+
+    @property
+    def risk_ratio(self) -> float:
+        """How much more likely leased space is to be abusively originated."""
+        non_leased = self.non_leased_share
+        if not non_leased or non_leased != non_leased:  # zero or NaN
+            return float("nan")
+        return self.leased_share / non_leased
+
+
+def drop_correlation(
+    result: InferenceResult,
+    routing_table: RoutingTable,
+    drop: AsnDropList,
+) -> DropCorrelation:
+    """Compute blocklisted-origination shares for leased vs non-leased."""
+    leased_prefixes = result.leased_prefixes()
+    leased_by_blocklisted = sum(
+        1
+        for inference in result.leased()
+        if any(origin in drop for origin in inference.originators)
+    )
+    non_leased_total = 0
+    non_leased_by_blocklisted = 0
+    for prefix, origins in routing_table.items():
+        if prefix in leased_prefixes:
+            continue
+        non_leased_total += 1
+        if any(origin in drop for origin in origins):
+            non_leased_by_blocklisted += 1
+    return DropCorrelation(
+        leased_prefixes=len(leased_prefixes),
+        leased_by_blocklisted=leased_by_blocklisted,
+        non_leased_prefixes=non_leased_total,
+        non_leased_by_blocklisted=non_leased_by_blocklisted,
+    )
+
+
+@dataclass(frozen=True)
+class RoaAbuseStats:
+    """ROAs covering a prefix population and their blocklisted share."""
+
+    prefixes_considered: int
+    prefixes_with_roas: int
+    roas_total: int
+    roas_blocklisted: int
+
+    @property
+    def blocklisted_share(self) -> float:
+        """Fraction of covering ROAs that authorize a blocklisted AS."""
+        return _share(self.roas_blocklisted, self.roas_total)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of prefixes with at least one covering ROA."""
+        return _share(self.prefixes_with_roas, self.prefixes_considered)
+
+
+def roa_abuse_analysis(
+    prefixes: Set[Prefix],
+    roas: RoaSet,
+    drop: AsnDropList,
+) -> RoaAbuseStats:
+    """§6.4 ROA analysis for one prefix population.
+
+    Counts distinct ROAs covering any prefix of the population and how
+    many of those authorize an AS on the DROP list (AS0 markers are not
+    blocklisted ASes and never count).
+    """
+    covering_roas = set()
+    prefixes_with_roas = 0
+    for prefix in prefixes:
+        found = roas.covering(prefix)
+        if found:
+            prefixes_with_roas += 1
+        covering_roas.update(found)
+    blocklisted = sum(
+        1 for roa in covering_roas if not roa.is_as0 and roa.asn in drop
+    )
+    return RoaAbuseStats(
+        prefixes_considered=len(prefixes),
+        prefixes_with_roas=prefixes_with_roas,
+        roas_total=len(covering_roas),
+        roas_blocklisted=blocklisted,
+    )
+
+
+def _share(numerator: int, denominator: int) -> float:
+    return numerator / denominator if denominator else float("nan")

@@ -1,0 +1,52 @@
+"""The Prehn et al. maintainer-difference baseline (§6.1 comparison).
+
+Prehn, Lichtblau, and Feldmann (CoNEXT 2020) "classified address blocks
+as leased if their maintainers differed from their parent blocks".  The
+paper contrasts this with its BGP-grounded method: maintainer difference
+yields false positives on customer blocks with customer-owned
+maintainers and false negatives when holders lease under their own
+maintainer — but it *can* flag inactive leases that the BGP method files
+under Unused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net import Prefix
+from ..rir import RIR
+from ..whois.database import WhoisCollection, WhoisDatabase
+from .allocation_tree import DEFAULT_MAX_LEAF_LENGTH, AllocationTree
+
+__all__ = ["maintainer_baseline"]
+
+
+def maintainer_baseline(
+    whois: WhoisCollection,
+    rirs: Optional[List[RIR]] = None,
+    max_leaf_length: int = DEFAULT_MAX_LEAF_LENGTH,
+) -> Dict[Prefix, bool]:
+    """Leased-or-not per leaf prefix under the maintainer heuristic.
+
+    A leaf is flagged leased when its maintainer set is disjoint from its
+    parent block's maintainer set.  Leaves or parents without maintainers
+    (ARIN-style records fall back to OrgIDs) are compared on whatever
+    handles they carry; a leaf with no root is never flagged.
+    """
+    verdicts: Dict[Prefix, bool] = {}
+    for rir in rirs if rirs is not None else list(RIR):
+        database: WhoisDatabase = whois[rir]
+        if not database.inetnums:
+            continue
+        tree = AllocationTree(database, max_leaf_length)
+        for leaf in tree.classifiable_leaves():
+            if leaf.root_record is None:
+                verdicts[leaf.prefix] = False
+                continue
+            leaf_handles = set(leaf.record.maintainers)
+            root_handles = set(leaf.root_record.maintainers)
+            if not leaf_handles or not root_handles:
+                verdicts[leaf.prefix] = False
+                continue
+            verdicts[leaf.prefix] = leaf_handles.isdisjoint(root_handles)
+    return verdicts

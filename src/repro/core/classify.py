@@ -1,0 +1,60 @@
+"""Leaf classification (§5.2): the four inference groups.
+
+Given, for one leaf node, its BGP origins, its root's BGP origins, and
+the RIR-assigned ASes of the root organisation, the classifier produces
+one of six categories spanning the paper's four groups:
+
+1. **Unused** — neither leaf nor root originated.
+2. **Aggregated customer** — only the root originated.
+3. Leaf originated only: **ISP customer** when the leaf origin is related
+   to a root-assigned AS, else **Leased**.
+4. Both originated: **Delegated customer** when the leaf origin is
+   related to a root-assigned AS or to the root's BGP origin, else
+   **Leased**.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import AbstractSet
+
+from .relatedness import RelatednessOracle
+
+__all__ = ["Category", "classify_leaf"]
+
+
+class Category(enum.Enum):
+    """A leaf node's inference category (Table 1 rows)."""
+
+    UNUSED = ("Unused", 1, False)
+    AGGREGATED_CUSTOMER = ("Aggregated Customer", 2, False)
+    ISP_CUSTOMER = ("ISP Customer", 3, False)
+    LEASED_GROUP3 = ("Leased", 3, True)
+    DELEGATED_CUSTOMER = ("Delegated Customer", 4, False)
+    LEASED_GROUP4 = ("Leased", 4, True)
+
+    def __init__(self, label: str, group: int, leased: bool) -> None:
+        self.label = label
+        self.group = group
+        self.is_leased = leased
+
+
+def classify_leaf(
+    leaf_origins: AbstractSet[int],
+    root_origins: AbstractSet[int],
+    root_assigned_asns: AbstractSet[int],
+    oracle: RelatednessOracle,
+) -> Category:
+    """Classify one leaf node per the §5.2 decision procedure."""
+    if not leaf_origins and not root_origins:
+        return Category.UNUSED
+    if not leaf_origins:
+        return Category.AGGREGATED_CUSTOMER
+    if not root_origins:
+        if oracle.any_related(leaf_origins, root_assigned_asns):
+            return Category.ISP_CUSTOMER
+        return Category.LEASED_GROUP3
+    related_targets = set(root_assigned_asns) | set(root_origins)
+    if oracle.any_related(leaf_origins, related_targets):
+        return Category.DELEGATED_CUSTOMER
+    return Category.LEASED_GROUP4

@@ -1,0 +1,80 @@
+"""Evaluating inference output against the reference dataset (§6.2).
+
+Produces the Table 2 confusion matrix plus the paper's error
+breakdowns: false negatives by category (inactive leases classified
+Unused, legacy blocks invisible to the method) and false-positive
+listings (the Vodafone-subsidiary effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..net import Prefix
+from .classify import Category
+from .metrics import ConfusionMatrix
+from .reference import ReferenceDataset
+from .results import InferenceResult
+
+__all__ = ["EvaluationReport", "evaluate_inference"]
+
+
+@dataclass
+class EvaluationReport:
+    """Confusion matrix plus per-error diagnostics."""
+
+    matrix: ConfusionMatrix = field(default_factory=ConfusionMatrix)
+    false_positives: List[Prefix] = field(default_factory=list)
+    false_negatives: List[Prefix] = field(default_factory=list)
+    #: FN prefixes by the category the pipeline assigned (§6.2 finds most
+    #: are Unused = inactive leases); key None = not a leaf at all
+    #: (legacy blocks never enter the tree).
+    fn_by_category: Dict[Optional[Category], int] = field(default_factory=dict)
+    #: FP prefixes by holder organisation, to surface subsidiary clusters.
+    fp_by_holder: Dict[Optional[str], int] = field(default_factory=dict)
+
+    @property
+    def fn_unused(self) -> int:
+        """False negatives the pipeline filed as Unused (inactive leases)."""
+        return self.fn_by_category.get(Category.UNUSED, 0)
+
+    @property
+    def fn_invisible(self) -> int:
+        """False negatives that never became classifiable leaves (legacy)."""
+        return self.fn_by_category.get(None, 0)
+
+
+def evaluate_inference(
+    result: InferenceResult, reference: ReferenceDataset
+) -> EvaluationReport:
+    """Score *result* against *reference* (§6.2, Table 2).
+
+    Every labelled prefix is scored: a positive-labelled prefix counts as
+    a true positive only when the pipeline classified it leased; labelled
+    prefixes the pipeline never classified (legacy blocks, or space absent
+    from the tree) count as inferred-non-leased, exactly as in the paper.
+    """
+    report = EvaluationReport()
+    leased: Set[Prefix] = result.leased_prefixes()
+
+    for prefix in sorted(reference.positives):
+        inferred = prefix in leased
+        report.matrix.add_prediction(actual_leased=True, inferred_leased=inferred)
+        if not inferred:
+            report.false_negatives.append(prefix)
+            inference = result.lookup(prefix)
+            key = inference.category if inference else None
+            report.fn_by_category[key] = report.fn_by_category.get(key, 0) + 1
+
+    for prefix in sorted(reference.negatives):
+        inferred = prefix in leased
+        report.matrix.add_prediction(
+            actual_leased=False, inferred_leased=inferred
+        )
+        if inferred:
+            report.false_positives.append(prefix)
+            inference = result.lookup(prefix)
+            holder = inference.holder_org_id if inference else None
+            report.fp_by_holder[holder] = report.fp_by_holder.get(holder, 0) + 1
+    return report

@@ -1,0 +1,123 @@
+"""Origin-change alarms and their confusion with leasing (§8).
+
+Hijack-detection systems alarm on origin changes: a prefix that was
+originated by AS A suddenly appears from AS B.  §8 notes that "some IP
+leasing behavior may be falsely identified as routing attacks" — a
+re-lease produces exactly that signature.  This module extracts
+origin-change events between two routing epochs and attributes each to
+leasing (the block was inferred leased in either epoch), to known serial
+hijackers, or to neither.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..asdata.hijackers import SerialHijackerList
+from ..bgp.rib import RoutingTable
+from ..net import Prefix
+from .results import InferenceResult
+
+__all__ = [
+    "AlarmAttribution",
+    "OriginChange",
+    "origin_changes",
+    "attribute_alarms",
+    "AlarmReport",
+]
+
+
+class AlarmAttribution(enum.Enum):
+    """What an origin-change alarm most likely was."""
+
+    LEASE_CHURN = "lease-churn"  # the block is leased: benign turnover
+    HIJACKER = "hijacker"  # new origin is a known serial hijacker
+    UNEXPLAINED = "unexplained"  # neither: candidate real incident
+
+
+@dataclass(frozen=True)
+class OriginChange:
+    """One alarm: the origin set of *prefix* changed between epochs."""
+
+    prefix: Prefix
+    old_origins: FrozenSet[int]
+    new_origins: FrozenSet[int]
+
+    @property
+    def added_origins(self) -> FrozenSet[int]:
+        """Origins present only in the later epoch."""
+        return self.new_origins - self.old_origins
+
+
+@dataclass
+class AlarmReport:
+    """Attribution counts over all origin-change alarms."""
+
+    changes: List[OriginChange]
+    attribution: Dict[Prefix, AlarmAttribution]
+
+    def count(self, kind: AlarmAttribution) -> int:
+        """Alarms attributed to *kind*."""
+        return sum(1 for value in self.attribution.values() if value is kind)
+
+    @property
+    def total(self) -> int:
+        """All alarms."""
+        return len(self.changes)
+
+    @property
+    def lease_share(self) -> float:
+        """Share of alarms explained by lease churn — the §8 false-alarm
+        burden leasing imposes on hijack detection."""
+        return (
+            self.count(AlarmAttribution.LEASE_CHURN) / self.total
+            if self.total
+            else float("nan")
+        )
+
+
+def origin_changes(
+    earlier: RoutingTable, later: RoutingTable
+) -> List[OriginChange]:
+    """Prefixes whose origin set changed (present in both epochs)."""
+    changes: List[OriginChange] = []
+    for prefix, old_origins in earlier.items():
+        new_origins = later.exact_origins(prefix)
+        if new_origins and new_origins != old_origins:
+            changes.append(
+                OriginChange(
+                    prefix=prefix,
+                    old_origins=old_origins,
+                    new_origins=new_origins,
+                )
+            )
+    return changes
+
+
+def attribute_alarms(
+    changes: List[OriginChange],
+    earlier_result: Optional[InferenceResult],
+    later_result: Optional[InferenceResult],
+    hijackers: SerialHijackerList,
+) -> AlarmReport:
+    """Attribute each alarm to lease churn, a hijacker, or neither.
+
+    Lease churn takes precedence: the whole §8 point is that a naive
+    detector would escalate those alarms although the inference explains
+    them.
+    """
+    leased: set = set()
+    for result in (earlier_result, later_result):
+        if result is not None:
+            leased |= result.leased_prefixes()
+    attribution: Dict[Prefix, AlarmAttribution] = {}
+    for change in changes:
+        if change.prefix in leased:
+            attribution[change.prefix] = AlarmAttribution.LEASE_CHURN
+        elif any(origin in hijackers for origin in change.added_origins):
+            attribution[change.prefix] = AlarmAttribution.HIJACKER
+        else:
+            attribution[change.prefix] = AlarmAttribution.UNEXPLAINED
+    return AlarmReport(changes=changes, attribution=attribution)

@@ -1,0 +1,98 @@
+"""Per-holder lease profiles (the Table 3 narrative, §6.3).
+
+The paper annotates its top holders with geography: "Resilans ... leases
+806 prefixes within Sweden. Cyber Assets FZCO ... leases prefixes to 44
+countries, including 332 prefixes to the U.S."  This module computes the
+same per-holder profile: lease count, distinct lessee ASes and
+facilitators, and — when geolocation databases are supplied — the
+countries the leased blocks land in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geo.database import GeoDatabase
+from ..rir import RIR
+from ..whois.database import WhoisCollection
+from .results import InferenceResult
+
+__all__ = ["HolderProfile", "holder_profiles"]
+
+
+@dataclass
+class HolderProfile:
+    """One IP holder's leasing footprint."""
+
+    rir: RIR
+    org_id: str
+    name: str
+    leased_prefixes: int = 0
+    lessee_asns: set = field(default_factory=set)
+    facilitator_handles: set = field(default_factory=set)
+    #: country code → leased-prefix count (majority vote across geo DBs).
+    countries: Counter = field(default_factory=Counter)
+
+    @property
+    def country_count(self) -> int:
+        """Distinct countries the holder leases into."""
+        return len(self.countries)
+
+    def top_countries(self, k: int = 3) -> List[Tuple[str, int]]:
+        """The most common destination countries."""
+        return self.countries.most_common(k)
+
+
+def holder_profiles(
+    result: InferenceResult,
+    whois: WhoisCollection,
+    geo_databases: Sequence[GeoDatabase] = (),
+    k: int = 10,
+) -> Dict[RIR, List[HolderProfile]]:
+    """The top-*k* holder profiles per registry, by lease count."""
+    profiles: Dict[Tuple[RIR, str], HolderProfile] = {}
+    for inference in result.leased():
+        org_id = inference.holder_org_id
+        if org_id is None:
+            continue
+        key = (inference.rir, org_id)
+        profile = profiles.get(key)
+        if profile is None:
+            org = whois[inference.rir].org(org_id)
+            profile = HolderProfile(
+                rir=inference.rir,
+                org_id=org_id,
+                name=org.name if org else org_id,
+            )
+            profiles[key] = profile
+        profile.leased_prefixes += 1
+        profile.lessee_asns.update(inference.originators)
+        profile.facilitator_handles.update(inference.facilitator_handles)
+        country = _majority_country(geo_databases, inference.prefix)
+        if country is not None:
+            profile.countries[country] += 1
+
+    ranking: Dict[RIR, List[HolderProfile]] = {rir: [] for rir in RIR}
+    for (rir, _org_id), profile in profiles.items():
+        ranking[rir].append(profile)
+    for rir in ranking:
+        ranking[rir].sort(key=lambda p: (-p.leased_prefixes, p.name))
+        ranking[rir] = ranking[rir][:k]
+    return ranking
+
+
+def _majority_country(
+    databases: Sequence[GeoDatabase], prefix
+) -> Optional[str]:
+    if not databases:
+        return None
+    votes = Counter()
+    for database in databases:
+        country = database.locate(prefix)
+        if country:
+            votes[country] += 1
+    if not votes:
+        return None
+    return votes.most_common(1)[0][0]

@@ -1,0 +1,71 @@
+"""IRR hygiene analysis: route-object origins vs BGP reality.
+
+Quantifies the §1 motivation — address circulation leaves routing
+databases inaccurate.  For a prefix population, each announcement is
+matched against the IRR: *consistent* (some covering route object names
+the BGP origin), *stale* (route objects exist but none matches), or
+*unregistered* (no route object at all).  Leased space, whose route
+objects predate the lease, skews stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..bgp.rib import RoutingTable
+from ..net import Prefix
+from ..whois.routes import RouteRegistry
+
+__all__ = ["IrrHygiene", "irr_hygiene"]
+
+
+@dataclass(frozen=True)
+class IrrHygiene:
+    """Announcement-level IRR consistency counts."""
+
+    consistent: int
+    stale: int
+    unregistered: int
+
+    @property
+    def total(self) -> int:
+        """All checked announcements."""
+        return self.consistent + self.stale + self.unregistered
+
+    @property
+    def stale_share(self) -> float:
+        """Stale announcements among those with route objects."""
+        registered = self.consistent + self.stale
+        return self.stale / registered if registered else float("nan")
+
+    @property
+    def consistent_share(self) -> float:
+        """Consistent announcements among all checked."""
+        return self.consistent / self.total if self.total else float("nan")
+
+
+def irr_hygiene(
+    prefixes: Iterable[Prefix],
+    routing_table: RoutingTable,
+    registry: RouteRegistry,
+) -> IrrHygiene:
+    """Check every announcement of *prefixes* against the IRR."""
+    consistent = 0
+    stale = 0
+    unregistered = 0
+    for prefix in prefixes:
+        origins = routing_table.exact_origins(prefix)
+        if not origins:
+            continue
+        registered = registry.covering_origins(prefix)
+        for origin in origins:
+            if not registered:
+                unregistered += 1
+            elif origin in registered:
+                consistent += 1
+            else:
+                stale += 1
+    return IrrHygiene(
+        consistent=consistent, stale=stale, unregistered=unregistered
+    )

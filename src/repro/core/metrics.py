@@ -1,0 +1,73 @@
+"""Information-retrieval metrics for the evaluation (Appendix A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ConfusionMatrix"]
+
+
+@dataclass
+class ConfusionMatrix:
+    """Table 2: counts plus the five Appendix-A metrics.
+
+    Metrics return ``float('nan')`` when their denominator is zero.
+    """
+
+    tp: int = 0
+    fn: int = 0
+    fp: int = 0
+    tn: int = 0
+
+    def add_prediction(self, actual_leased: bool, inferred_leased: bool) -> None:
+        """Count one labelled prefix."""
+        if actual_leased and inferred_leased:
+            self.tp += 1
+        elif actual_leased:
+            self.fn += 1
+        elif inferred_leased:
+            self.fp += 1
+        else:
+            self.tn += 1
+
+    @property
+    def total(self) -> int:
+        """All labelled observations."""
+        return self.tp + self.fn + self.fp + self.tn
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP)."""
+        return _ratio(self.tp, self.tp + self.fp)
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN) (sensitivity)."""
+        return _ratio(self.tp, self.tp + self.fn)
+
+    @property
+    def specificity(self) -> float:
+        """TN / (TN + FP)."""
+        return _ratio(self.tn, self.tn + self.fp)
+
+    @property
+    def npv(self) -> float:
+        """TN / (TN + FN) (negative predictive value)."""
+        return _ratio(self.tn, self.tn + self.fn)
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total."""
+        return _ratio(self.tp + self.tn, self.total)
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (not in the paper;
+        provided for downstream users)."""
+        return _ratio(2 * self.tp, 2 * self.tp + self.fp + self.fn)
+
+
+def _ratio(numerator: int, denominator: int) -> float:
+    if denominator == 0:
+        return float("nan")
+    return numerator / denominator

@@ -1,0 +1,131 @@
+"""End-to-end lease inference (§5.1–§5.2).
+
+The pipeline ties the substrates together: per registry it builds the
+allocation tree, resolves root-organisation ASNs, looks up BGP origins,
+and classifies every non-portable leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Union
+
+from ..asdata.as2org import AS2Org
+from ..asdata.relationships import ASRelationships
+from ..bgp.rib import RoutingTable
+from ..rir import RIR
+from ..whois.database import WhoisCollection, WhoisDatabase
+from .allocation_tree import DEFAULT_MAX_LEAF_LENGTH, AllocationTree, TreeLeaf
+from .classify import classify_leaf
+from .relatedness import RelatednessOracle
+from .results import InferenceResult, LeafInference
+
+__all__ = ["LeaseInferencePipeline", "infer_leases"]
+
+
+class LeaseInferencePipeline:
+    """Configured, reusable lease inference over WHOIS + BGP + AS data."""
+
+    def __init__(
+        self,
+        whois: Union[WhoisCollection, WhoisDatabase],
+        routing_table: RoutingTable,
+        relationships: ASRelationships,
+        as2org: Optional[AS2Org] = None,
+        max_leaf_length: int = DEFAULT_MAX_LEAF_LENGTH,
+        use_covering_root_lookup: bool = True,
+    ) -> None:
+        if isinstance(whois, WhoisDatabase):
+            collection = WhoisCollection({whois.rir: whois})
+        else:
+            collection = whois
+        self.whois = collection
+        self.routing_table = routing_table
+        self.oracle = RelatednessOracle(relationships, as2org)
+        self.max_leaf_length = max_leaf_length
+        self.use_covering_root_lookup = use_covering_root_lookup
+        self.trees: Dict[RIR, AllocationTree] = {}
+
+    def run(self, rirs: Optional[Iterable[RIR]] = None) -> InferenceResult:
+        """Classify every leaf in the selected registries (default: all)."""
+        result = InferenceResult()
+        for rir in rirs if rirs is not None else list(RIR):
+            database = self.whois[rir]
+            if not database.inetnums:
+                continue
+            tree = AllocationTree(database, self.max_leaf_length)
+            self.trees[rir] = tree
+            for leaf in tree.classifiable_leaves():
+                result.add(self._infer_leaf(rir, database, leaf))
+        return result
+
+    def stats(self) -> Dict[RIR, Dict[str, int]]:
+        """Per-region tree diagnostics from the last :meth:`run`.
+
+        Keys per region: ``nodes`` (tree entries), ``roots``, ``leaves``,
+        ``classifiable`` (non-portable leaves under a root),
+        ``hyper_specific_dropped``, and ``legacy_dropped``.
+        """
+        diagnostics: Dict[RIR, Dict[str, int]] = {}
+        for rir, tree in self.trees.items():
+            diagnostics[rir] = {
+                "nodes": len(tree),
+                "roots": len(tree.roots()),
+                "leaves": len(tree.leaves()),
+                "classifiable": len(tree.classifiable_leaves()),
+                "hyper_specific_dropped": tree.hyper_specific_dropped,
+                "legacy_dropped": tree.legacy_dropped,
+            }
+        return diagnostics
+
+    def _infer_leaf(
+        self, rir: RIR, database: WhoisDatabase, leaf: TreeLeaf
+    ) -> LeafInference:
+        # §5.1 step 4: exact match for the leaf ...
+        leaf_origins = self.routing_table.exact_origins(leaf.prefix)
+        # ... exact-then-least-specific-covering for the root (ablatable).
+        if leaf.root_prefix is not None:
+            if self.use_covering_root_lookup:
+                root_origins = self.routing_table.covering_origins(
+                    leaf.root_prefix
+                )
+            else:
+                root_origins = self.routing_table.exact_origins(
+                    leaf.root_prefix
+                )
+        else:
+            root_origins = frozenset()
+        root_assigned = self._root_assigned_asns(database, leaf)
+        category = classify_leaf(
+            leaf_origins, root_origins, root_assigned, self.oracle
+        )
+        return LeafInference(
+            rir=rir,
+            prefix=leaf.prefix,
+            category=category,
+            record=leaf.record,
+            root_prefix=leaf.root_prefix,
+            root_record=leaf.root_record,
+            leaf_origins=leaf_origins,
+            root_origins=root_origins,
+            root_assigned_asns=root_assigned,
+        )
+
+    def _root_assigned_asns(
+        self, database: WhoisDatabase, leaf: TreeLeaf
+    ) -> FrozenSet[int]:
+        """§5.1 step 3: the RIR-assigned ASNs of the root organisation."""
+        if leaf.root_record is None or leaf.root_record.org_id is None:
+            return frozenset()
+        return frozenset(database.asns_of_org(leaf.root_record.org_id))
+
+
+def infer_leases(
+    whois: Union[WhoisCollection, WhoisDatabase],
+    routing_table: RoutingTable,
+    relationships: ASRelationships,
+    as2org: Optional[AS2Org] = None,
+) -> InferenceResult:
+    """One-call convenience wrapper around the pipeline."""
+    return LeaseInferencePipeline(
+        whois, routing_table, relationships, as2org
+    ).run()

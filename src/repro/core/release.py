@@ -1,0 +1,68 @@
+"""Public-release artifacts (Appendix C).
+
+The paper publishes its inferred leases and curated evaluation dataset.
+This module renders the same artifacts from an inference run: one CSV of
+inferred leases with their business roles, and one CSV of the labelled
+reference prefixes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterator, List
+
+from .reference import ReferenceDataset
+from .results import InferenceResult
+
+__all__ = ["export_inferred_leases", "export_reference_dataset"]
+
+
+def export_inferred_leases(result: InferenceResult) -> str:
+    """CSV of every inferred lease with its Fig. 2 roles.
+
+    Columns: prefix, rir, group, holder organisation, facilitator
+    maintainer(s), originator AS(es).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["prefix", "rir", "group", "holder_org", "facilitators", "originators"]
+    )
+    for inference in sorted(result.leased(), key=lambda inf: inf.prefix):
+        writer.writerow(
+            [
+                str(inference.prefix),
+                inference.rir.value,
+                inference.category.group,
+                inference.holder_org_id or "",
+                " ".join(inference.facilitator_handles),
+                " ".join(
+                    f"AS{asn}" for asn in sorted(inference.originators)
+                ),
+            ]
+        )
+    return buffer.getvalue()
+
+
+def export_reference_dataset(reference: ReferenceDataset) -> str:
+    """CSV of the curated evaluation labels (§5.3).
+
+    Columns: prefix, label (leased / non-leased).
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["prefix", "label"])
+    rows: List = [
+        (prefix, "leased") for prefix in sorted(reference.positives)
+    ] + [(prefix, "non-leased") for prefix in sorted(reference.negatives)]
+    for prefix, label in sorted(rows):
+        writer.writerow([str(prefix), label])
+    return buffer.getvalue()
+
+
+def parse_inferred_leases(text: str) -> Iterator[dict]:
+    """Parse a CSV produced by :func:`export_inferred_leases`."""
+    reader = csv.DictReader(io.StringIO(text))
+    for row in reader:
+        yield row

@@ -1,0 +1,220 @@
+"""Per-prefix lease timelines (Fig. 3, §6.5).
+
+Combines the historical BGP origins of one prefix with its RPKI
+authorized-origin history to segment time into lease periods, AS0
+markers (the between-leases "do not originate" state the paper observes
+IPXO using), and gaps.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..net import Prefix
+from ..rpki.archive import RpkiArchive
+from ..rpki.roa import AS0
+
+__all__ = [
+    "BgpOriginHistory",
+    "PeriodKind",
+    "TimelinePeriod",
+    "PrefixTimeline",
+    "build_timeline",
+]
+
+
+class BgpOriginHistory:
+    """Time series of BGP origin sets for one prefix."""
+
+    def __init__(self) -> None:
+        self._timestamps: List[int] = []
+        self._origins: Dict[int, FrozenSet[int]] = {}
+
+    def add_observation(self, timestamp: int, origins: Iterable[int]) -> None:
+        """Record the origin set seen at *timestamp*."""
+        frozen = frozenset(origins)
+        if timestamp not in self._origins:
+            bisect.insort(self._timestamps, timestamp)
+        self._origins[timestamp] = frozen
+
+    def history(self) -> List[Tuple[int, FrozenSet[int]]]:
+        """All observations, ascending by time."""
+        return [(ts, self._origins[ts]) for ts in self._timestamps]
+
+    def origins_at(self, timestamp: int) -> FrozenSet[int]:
+        """The most recent origin set at or before *timestamp*."""
+        index = bisect.bisect_right(self._timestamps, timestamp)
+        if index == 0:
+            return frozenset()
+        return self._origins[self._timestamps[index - 1]]
+
+    def change_points(self) -> List[Tuple[int, FrozenSet[int]]]:
+        """Observations where the origin set changed (first included)."""
+        changes: List[Tuple[int, FrozenSet[int]]] = []
+        previous: Optional[FrozenSet[int]] = None
+        for timestamp, origins in self.history():
+            if previous is None or origins != previous:
+                changes.append((timestamp, origins))
+                previous = origins
+        return changes
+
+    def __len__(self) -> int:
+        return len(self._timestamps)
+
+
+class PeriodKind(enum.Enum):
+    """What a timeline segment represents."""
+
+    LEASE = "lease"  # an AS is authorized and/or originating
+    AS0 = "as0"  # only AS0 authorized: deliberate do-not-originate
+    IDLE = "idle"  # no authorization and no origination
+
+
+@dataclass(frozen=True)
+class TimelinePeriod:
+    """One homogeneous segment ``[start, end)`` of a prefix's history."""
+
+    start: int
+    end: Optional[int]  # None = open-ended (last observed state)
+    kind: PeriodKind
+    rpki_asns: FrozenSet[int]
+    bgp_asns: FrozenSet[int]
+
+    @property
+    def asns(self) -> FrozenSet[int]:
+        """All ASNs involved in the segment (RPKI union BGP, minus AS0)."""
+        return frozenset(
+            asn for asn in self.rpki_asns | self.bgp_asns if asn != AS0
+        )
+
+
+class PrefixTimeline:
+    """Fig. 3 for one prefix: merged RPKI + BGP state over time."""
+
+    def __init__(self, prefix: Prefix, periods: List[TimelinePeriod]) -> None:
+        self.prefix = prefix
+        self.periods = periods
+
+    def lease_periods(self) -> List[TimelinePeriod]:
+        """Segments where some AS held the prefix."""
+        return [p for p in self.periods if p.kind is PeriodKind.LEASE]
+
+    def as0_periods(self) -> List[TimelinePeriod]:
+        """AS0 segments between leases (§6.5 defense)."""
+        return [p for p in self.periods if p.kind is PeriodKind.AS0]
+
+    def distinct_lessee_asns(self) -> Set[int]:
+        """ASNs that ever held the prefix."""
+        asns: Set[int] = set()
+        for period in self.lease_periods():
+            asns.update(period.asns)
+        return asns
+
+    def lease_count(self) -> int:
+        """Number of distinct lease segments."""
+        return len(self.lease_periods())
+
+    def lease_durations(self) -> List[int]:
+        """Durations (seconds) of the closed lease segments.
+
+        The final, open-ended segment has no duration and is omitted —
+        a market-dynamics metric (§8): how long does a lease last?
+        """
+        return [
+            period.end - period.start
+            for period in self.lease_periods()
+            if period.end is not None
+        ]
+
+    def median_lease_duration(self) -> Optional[int]:
+        """Median closed-lease duration, or None with no closed leases."""
+        durations = sorted(self.lease_durations())
+        if not durations:
+            return None
+        return durations[len(durations) // 2]
+
+    def rows(self) -> Dict[int, List[Tuple[int, Optional[int], str]]]:
+        """Per-ASN bars for rendering the figure.
+
+        Maps each ASN (including AS0) to segments tagged ``"rpki"``,
+        ``"bgp"``, or ``"both"`` — the two mark types of Fig. 3.
+        """
+        bars: Dict[int, List[Tuple[int, Optional[int], str]]] = {}
+        for period in self.periods:
+            for asn in period.rpki_asns | period.bgp_asns:
+                in_rpki = asn in period.rpki_asns
+                in_bgp = asn in period.bgp_asns
+                tag = "both" if in_rpki and in_bgp else (
+                    "rpki" if in_rpki else "bgp"
+                )
+                bars.setdefault(asn, []).append(
+                    (period.start, period.end, tag)
+                )
+        return bars
+
+
+def build_timeline(
+    prefix: Prefix,
+    bgp_history: BgpOriginHistory,
+    rpki_archive: RpkiArchive,
+) -> PrefixTimeline:
+    """Segment a prefix's combined RPKI + BGP history into periods."""
+    boundaries: Set[int] = set(ts for ts, _ in bgp_history.change_points())
+    boundaries.update(ts for ts, _ in rpki_archive.change_points(prefix))
+    ordered = sorted(boundaries)
+
+    periods: List[TimelinePeriod] = []
+    for index, start in enumerate(ordered):
+        end = ordered[index + 1] if index + 1 < len(ordered) else None
+        snapshot = rpki_archive.snapshot_at(start)
+        rpki_asns = (
+            snapshot.authorized_origins(prefix) if snapshot else frozenset()
+        )
+        bgp_asns = bgp_history.origins_at(start)
+        periods.append(
+            TimelinePeriod(
+                start=start,
+                end=end,
+                kind=_kind_of(rpki_asns, bgp_asns),
+                rpki_asns=rpki_asns,
+                bgp_asns=bgp_asns,
+            )
+        )
+    return PrefixTimeline(prefix=prefix, periods=_merge_adjacent(periods))
+
+
+def _kind_of(rpki_asns: FrozenSet[int], bgp_asns: FrozenSet[int]) -> PeriodKind:
+    real_rpki = {asn for asn in rpki_asns if asn != AS0}
+    if real_rpki or bgp_asns:
+        return PeriodKind.LEASE
+    if AS0 in rpki_asns:
+        return PeriodKind.AS0
+    return PeriodKind.IDLE
+
+
+def _merge_adjacent(periods: List[TimelinePeriod]) -> List[TimelinePeriod]:
+    """Collapse consecutive segments with identical state."""
+    merged: List[TimelinePeriod] = []
+    for period in periods:
+        if (
+            merged
+            and merged[-1].kind is period.kind
+            and merged[-1].rpki_asns == period.rpki_asns
+            and merged[-1].bgp_asns == period.bgp_asns
+        ):
+            previous = merged.pop()
+            merged.append(
+                TimelinePeriod(
+                    start=previous.start,
+                    end=period.end,
+                    kind=previous.kind,
+                    rpki_asns=previous.rpki_asns,
+                    bgp_asns=previous.bgp_asns,
+                )
+            )
+        else:
+            merged.append(period)
+    return merged

@@ -1,0 +1,5 @@
+"""Geolocation substrate: databases and the country/continent roll-up."""
+
+from .database import CONTINENT_OF, GeoDatabase, continent_of, locate_across
+
+__all__ = ["CONTINENT_OF", "GeoDatabase", "continent_of", "locate_across"]

@@ -1,0 +1,93 @@
+"""IP geolocation databases.
+
+§8 of the paper notes that IP leasing "may also contribute to
+inconsistencies across geolocation databases; anecdotally we find
+prefixes on the IPXO marketplace geolocate to four different continents
+according to five geolocation databases."  This substrate models a
+commercial geolocation database as a longest-prefix-match mapping to a
+country, with the country→continent roll-up needed for the
+inconsistency analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..net import Prefix, PrefixTrie
+
+__all__ = ["CONTINENT_OF", "GeoDatabase", "continent_of"]
+
+#: Country code → continent code for the countries the generator uses.
+CONTINENT_OF: Dict[str, str] = {
+    # Europe
+    "DE": "EU", "NL": "EU", "GB": "EU", "FR": "EU", "SE": "EU", "LT": "EU",
+    "RO": "EU", "CH": "EU", "ES": "EU", "PL": "EU",
+    # North America
+    "US": "NA", "CA": "NA", "MX": "NA", "PA": "NA", "CR": "NA",
+    # South America
+    "BR": "SA", "AR": "SA", "CL": "SA", "CO": "SA",
+    # Asia
+    "JP": "AS", "SG": "AS", "HK": "AS", "IN": "AS", "AE": "AS", "CN": "AS",
+    # Africa
+    "ZA": "AF", "TN": "AF", "EG": "AF", "NG": "AF", "MU": "AF",
+    # Oceania
+    "AU": "OC", "NZ": "OC",
+}
+
+
+def continent_of(country: str) -> str:
+    """The continent code of *country* (``??`` when unknown)."""
+    return CONTINENT_OF.get(country.upper(), "??")
+
+
+class GeoDatabase:
+    """One named geolocation database: prefix → country code."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._trie: PrefixTrie[str] = PrefixTrie()
+
+    def add(self, prefix: Prefix, country: str) -> None:
+        """Register (or overwrite) the country of *prefix*."""
+        self._trie.insert(prefix, country.upper())
+
+    def locate(self, prefix: Prefix) -> Optional[str]:
+        """Country of the most-specific entry covering *prefix*."""
+        hit = self._trie.longest_match(prefix)
+        return hit[1] if hit else None
+
+    def locate_continent(self, prefix: Prefix) -> Optional[str]:
+        """Continent of the most-specific entry covering *prefix*."""
+        country = self.locate(prefix)
+        return continent_of(country) if country else None
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    # -- CSV format --------------------------------------------------------
+    @classmethod
+    def from_csv(cls, name: str, text: str) -> "GeoDatabase":
+        """Parse ``prefix,country`` CSV (header optional)."""
+        database = cls(name)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.lower().startswith("prefix,"):
+                continue
+            prefix_text, _, country = line.partition(",")
+            database.add(Prefix.parse(prefix_text), country.strip())
+        return database
+
+    def to_csv(self) -> str:
+        """Serialize to ``prefix,country`` CSV with a header."""
+        lines = ["prefix,country"]
+        lines.extend(
+            f"{prefix},{country}" for prefix, country in self._trie.items()
+        )
+        return "\n".join(lines) + "\n"
+
+
+def locate_across(
+    databases: Iterable[GeoDatabase], prefix: Prefix
+) -> List[Tuple[str, Optional[str]]]:
+    """``(database name, country)`` for *prefix* across all databases."""
+    return [(db.name, db.locate(prefix)) for db in databases]

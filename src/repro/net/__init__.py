@@ -1,0 +1,27 @@
+"""IPv4 network primitives: addresses, prefixes, ranges, and a radix trie."""
+
+from .ipaddr import (
+    MAX_IPV4,
+    AddressError,
+    Prefix,
+    address_to_int,
+    int_to_address,
+    parse_address,
+)
+from .ipset import IPSet
+from .radix import PrefixTrie
+from .ranges import AddressRange, prefixes_to_ranges, range_to_prefixes
+
+__all__ = [
+    "MAX_IPV4",
+    "AddressError",
+    "AddressRange",
+    "IPSet",
+    "Prefix",
+    "PrefixTrie",
+    "address_to_int",
+    "int_to_address",
+    "parse_address",
+    "prefixes_to_ranges",
+    "range_to_prefixes",
+]

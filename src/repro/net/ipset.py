@@ -1,0 +1,155 @@
+"""Address-set algebra over IPv4 space.
+
+An :class:`IPSet` is a set of addresses stored as disjoint inclusive
+ranges, with union / intersection / difference and prefix decomposition.
+The measurement code uses it for address-space accounting — e.g. "leased
+space as a fraction of routed space" dedupes overlapping prefixes the
+same way — and it is generally useful to downstream users of the
+library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from .ipaddr import MAX_IPV4, Prefix
+from .ranges import AddressRange, range_to_prefixes
+
+__all__ = ["IPSet"]
+
+SpanLike = Union[Prefix, AddressRange]
+
+
+class IPSet:
+    """An immutable set of IPv4 addresses held as sorted disjoint ranges."""
+
+    __slots__ = ("_spans",)
+
+    def __init__(self, items: Iterable[SpanLike] = ()) -> None:
+        spans: List[Tuple[int, int]] = []
+        for item in items:
+            if isinstance(item, Prefix):
+                spans.append(item.range())
+            elif isinstance(item, AddressRange):
+                spans.append((item.first, item.last))
+            else:
+                raise TypeError(f"unsupported item: {item!r}")
+        self._spans: Tuple[Tuple[int, int], ...] = tuple(_normalize(spans))
+
+    @classmethod
+    def _from_spans(cls, spans: List[Tuple[int, int]]) -> "IPSet":
+        instance = cls.__new__(cls)
+        object.__setattr__(instance, "_spans", tuple(spans))
+        return instance
+
+    # -- queries -------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of addresses in the set."""
+        return sum(last - first + 1 for first, last in self._spans)
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __contains__(self, item: Union[int, Prefix]) -> bool:
+        if isinstance(item, Prefix):
+            first, last = item.range()
+        else:
+            first = last = item
+        for span_first, span_last in self._spans:
+            if span_first <= first and last <= span_last:
+                return True
+            if span_first > last:
+                return False
+        return False
+
+    def ranges(self) -> List[AddressRange]:
+        """The disjoint ranges, ascending."""
+        return [AddressRange(first, last) for first, last in self._spans]
+
+    def prefixes(self) -> Iterator[Prefix]:
+        """Minimal CIDR decomposition of the whole set."""
+        for first, last in self._spans:
+            yield from range_to_prefixes(first, last)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IPSet) and self._spans == other._spans
+
+    def __hash__(self) -> int:
+        return hash(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IPSet({len(self._spans)} ranges, {len(self):,} addresses)"
+
+    # -- algebra -------------------------------------------------------------
+    def union(self, other: "IPSet") -> "IPSet":
+        """Addresses in either set."""
+        return IPSet._from_spans(
+            _normalize(list(self._spans) + list(other._spans))
+        )
+
+    def intersection(self, other: "IPSet") -> "IPSet":
+        """Addresses in both sets."""
+        result: List[Tuple[int, int]] = []
+        i = j = 0
+        left, right = self._spans, other._spans
+        while i < len(left) and j < len(right):
+            first = max(left[i][0], right[j][0])
+            last = min(left[i][1], right[j][1])
+            if first <= last:
+                result.append((first, last))
+            if left[i][1] < right[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IPSet._from_spans(result)
+
+    def difference(self, other: "IPSet") -> "IPSet":
+        """Addresses in this set but not in *other*."""
+        result: List[Tuple[int, int]] = []
+        other_spans = list(other._spans)
+        for first, last in self._spans:
+            cursor = first
+            for o_first, o_last in other_spans:
+                if o_last < cursor:
+                    continue
+                if o_first > last:
+                    break
+                if o_first > cursor:
+                    result.append((cursor, o_first - 1))
+                cursor = max(cursor, o_last + 1)
+                if cursor > last:
+                    break
+            if cursor <= last:
+                result.append((cursor, last))
+        return IPSet._from_spans(result)
+
+    def __or__(self, other: "IPSet") -> "IPSet":
+        return self.union(other)
+
+    def __and__(self, other: "IPSet") -> "IPSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IPSet") -> "IPSet":
+        return self.difference(other)
+
+    def isdisjoint(self, other: "IPSet") -> bool:
+        """True when the sets share no address."""
+        return not self.intersection(other)
+
+    def issubset(self, other: "IPSet") -> bool:
+        """True when every address here is also in *other*."""
+        return not self.difference(other)
+
+
+def _normalize(spans: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort, validate, and merge overlapping/adjacent spans."""
+    for first, last in spans:
+        if not 0 <= first <= last <= MAX_IPV4:
+            raise ValueError(f"invalid span: ({first}, {last})")
+    merged: List[Tuple[int, int]] = []
+    for first, last in sorted(spans):
+        if merged and first <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], last))
+        else:
+            merged.append((first, last))
+    return merged

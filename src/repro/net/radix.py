@@ -1,0 +1,246 @@
+"""A binary radix trie over IPv4 prefixes.
+
+Supports the lookups the paper's inference needs:
+
+* exact match (leaf-node BGP origins, §5.1 step 4),
+* least-specific covering prefix (root-node fallback, §5.1 step 4),
+* longest-prefix match (general routing-table semantics),
+* enumeration of stored roots / leaves (allocation tree, §5.1 step 2).
+
+The trie maps each stored :class:`~repro.net.ipaddr.Prefix` to an arbitrary
+value; inserting the same prefix twice replaces the value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from .ipaddr import Prefix
+
+__all__ = ["PrefixTrie"]
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    """One bit-level trie node; ``prefix`` is set only on stored entries."""
+
+    __slots__ = ("children", "prefix", "value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.prefix: Optional[Prefix] = None
+        self.value: Optional[V] = None
+
+
+def _bit(network: int, depth: int) -> int:
+    """The *depth*-th most significant bit of a 32-bit network address."""
+    return (network >> (31 - depth)) & 1
+
+
+class PrefixTrie(Generic[V]):
+    """Mutable mapping from IPv4 prefixes to values with covering lookups."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    # -- mutation ----------------------------------------------------------
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Store *value* under *prefix*, replacing any previous value."""
+        node = self._root
+        for depth in range(prefix.length):
+            branch = _bit(prefix.network, depth)
+            child = node.children[branch]
+            if child is None:
+                child = _Node()
+                node.children[branch] = child
+            node = child
+        if node.prefix is None:
+            self._size += 1
+        node.prefix = prefix
+        node.value = value
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Delete *prefix*; returns False when it was not stored.
+
+        Interior nodes left empty are not pruned — deletion is rare in the
+        pipeline and lookups skip non-entry nodes anyway.
+        """
+        node = self._find_node(prefix)
+        if node is None or node.prefix is None:
+            return False
+        node.prefix = None
+        node.value = None
+        self._size -= 1
+        return True
+
+    # -- basic queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        node = self._find_node(prefix)
+        return node is not None and node.prefix is not None
+
+    def _find_node(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._root
+        for depth in range(prefix.length):
+            child = node.children[_bit(prefix.network, depth)]
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def exact(self, prefix: Prefix) -> Optional[V]:
+        """The value stored at exactly *prefix*, or None."""
+        node = self._find_node(prefix)
+        if node is None or node.prefix is None:
+            return None
+        return node.value
+
+    def get(self, prefix: Prefix, default: Optional[V] = None) -> Optional[V]:
+        """Dict-style exact lookup with a default."""
+        node = self._find_node(prefix)
+        if node is None or node.prefix is None:
+            return default
+        return node.value
+
+    # -- covering lookups ------------------------------------------------------
+    def covering(self, prefix: Prefix) -> List[Tuple[Prefix, V]]:
+        """All stored prefixes covering *prefix*, least-specific first.
+
+        A stored prefix equal to *prefix* is included.
+        """
+        found: List[Tuple[Prefix, V]] = []
+        node = self._root
+        if node.prefix is not None:
+            found.append((node.prefix, node.value))  # type: ignore[arg-type]
+        for depth in range(prefix.length):
+            child = node.children[_bit(prefix.network, depth)]
+            if child is None:
+                return found
+            node = child
+            if node.prefix is not None:
+                found.append((node.prefix, node.value))  # type: ignore[arg-type]
+        return found
+
+    def longest_match(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """The most-specific stored prefix covering *prefix*, or None."""
+        chain = self.covering(prefix)
+        return chain[-1] if chain else None
+
+    def least_specific_match(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """The least-specific stored prefix covering *prefix*, or None.
+
+        This is the lookup the paper applies to root nodes whose exact
+        prefix is absent from BGP: "search for its least-specific covering
+        prefix and origin AS" (§5.1 step 4).
+        """
+        chain = self.covering(prefix)
+        return chain[0] if chain else None
+
+    def parent(self, prefix: Prefix) -> Optional[Tuple[Prefix, V]]:
+        """The most-specific stored *strict* ancestor of *prefix*, or None."""
+        chain = self.covering(prefix)
+        while chain and chain[-1][0] == prefix:
+            chain.pop()
+        return chain[-1] if chain else None
+
+    # -- subtree queries ----------------------------------------------------
+    def covered(self, prefix: Prefix) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate stored prefixes equal to or more specific than *prefix*."""
+        node = self._root
+        for depth in range(prefix.length):
+            child = node.children[_bit(prefix.network, depth)]
+            if child is None:
+                return
+            node = child
+        yield from self._iter_subtree(node)
+
+    def children_of(self, prefix: Prefix) -> List[Tuple[Prefix, V]]:
+        """Direct stored descendants of *prefix* (no stored prefix between)."""
+        start = self._find_node(prefix)
+        if start is None:
+            return []
+        result: List[Tuple[Prefix, V]] = []
+        stack = [child for child in start.children if child is not None]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                result.append((node.prefix, node.value))  # type: ignore[arg-type]
+                continue  # anything deeper is not a *direct* child
+            stack.extend(
+                child for child in node.children if child is not None
+            )
+        result.sort(key=lambda item: item[0])
+        return result
+
+    def _iter_subtree(self, start: _Node[V]) -> Iterator[Tuple[Prefix, V]]:
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                yield node.prefix, node.value  # type: ignore[misc]
+            for child in reversed(node.children):
+                if child is not None:
+                    stack.append(child)
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Iterate all stored ``(prefix, value)`` pairs (trie order)."""
+        yield from self._iter_subtree(self._root)
+
+    def keys(self) -> Iterator[Prefix]:
+        """Iterate all stored prefixes (trie order)."""
+        for prefix, _value in self.items():
+            yield prefix
+
+    # -- structural roles (allocation tree) ----------------------------------
+    def roots(self) -> List[Tuple[Prefix, V]]:
+        """Stored prefixes with no stored strict ancestor."""
+        result: List[Tuple[Prefix, V]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.prefix is not None:
+                result.append((node.prefix, node.value))  # type: ignore[arg-type]
+                continue  # descendants have an ancestor: this node
+            stack.extend(
+                child for child in node.children if child is not None
+            )
+        result.sort(key=lambda item: item[0])
+        return result
+
+    def leaves(self) -> List[Tuple[Prefix, V]]:
+        """Stored prefixes with no stored strict descendant."""
+        result: List[Tuple[Prefix, V]] = []
+        stack: List[Tuple[_Node[V], Optional[_Node[V]]]] = [(self._root, None)]
+        # Depth-first walk tracking, for each stored node, whether any stored
+        # node exists beneath it.
+        def walk(node: _Node[V]) -> bool:
+            has_stored_below = False
+            for child in node.children:
+                if child is not None and walk(child):
+                    has_stored_below = True
+            if node.prefix is not None:
+                if not has_stored_below:
+                    result.append((node.prefix, node.value))  # type: ignore[arg-type]
+                return True
+            return has_stored_below
+
+        walk(self._root)
+        result.sort(key=lambda item: item[0])
+        return result
+
+    # -- conversion ---------------------------------------------------------
+    def to_dict(self) -> Dict[Prefix, V]:
+        """Materialize the trie as a plain dict."""
+        return dict(self.items())
+
+    @classmethod
+    def from_items(cls, items) -> "PrefixTrie[V]":
+        """Build a trie from an iterable of ``(prefix, value)`` pairs."""
+        trie: PrefixTrie[V] = cls()
+        for prefix, value in items:
+            trie.insert(prefix, value)
+        return trie

@@ -1,0 +1,52 @@
+"""Machine-readable table exports: CSV and Markdown.
+
+The text tables of :mod:`repro.reporting.tables` are for terminals; this
+module renders the same data for spreadsheets and papers.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+__all__ = ["to_csv", "to_markdown"]
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a header + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow([_plain(value) for value in row])
+    return buffer.getvalue()
+
+
+def to_markdown(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a header + rows as a GitHub-flavoured Markdown table."""
+    lines: List[str] = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join(" --- " for _h in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_format(value) for value in row) + " |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _plain(value: object) -> object:
+    if isinstance(value, float):
+        return round(value, 6)
+    return value
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,215 @@
+"""One-shot Markdown report covering every reproduced result.
+
+:func:`build_full_report` runs all analyses over a world and renders a
+single self-contained Markdown document — the shape of the paper's
+evaluation section, regenerated.  Exposed on the CLI as ``repro report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import (
+    BgpOriginHistory,
+    InferenceResult,
+    build_timeline,
+    curate_reference,
+    drop_correlation,
+    evaluate_inference,
+    hijacker_overlap,
+    roa_abuse_analysis,
+    top_facilitators,
+    top_holders,
+    top_originators,
+)
+from ..core.classify import Category
+from ..rir import ALL_RIRS
+from ..simulation.world import World
+from .export import to_markdown
+from .figures import render_timeline
+
+__all__ = ["build_full_report"]
+
+_ROWS = [
+    ("1 Unused", Category.UNUSED),
+    ("2 Aggregated Customer", Category.AGGREGATED_CUSTOMER),
+    ("3 ISP Customer", Category.ISP_CUSTOMER),
+    ("3 Leased", Category.LEASED_GROUP3),
+    ("4 Delegated Customer", Category.DELEGATED_CUSTOMER),
+    ("4 Leased", Category.LEASED_GROUP4),
+]
+
+
+def build_full_report(world: World, result: InferenceResult) -> str:
+    """The complete Markdown report for one world + inference run."""
+    sections: List[str] = [
+        "# IP Leasing Inference — full reproduction report",
+        "",
+        (
+            f"World: seed {world.scenario.seed}, "
+            f"{world.whois.total_inetnums():,} WHOIS blocks, "
+            f"{world.routing_table.num_prefixes():,} advertised prefixes, "
+            f"{len(world.topology):,} ASes."
+        ),
+        "",
+        _table1_section(world, result),
+        _table2_section(world, result),
+        _table3_section(world, result),
+        _ecosystem_section(world, result),
+        _abuse_section(world, result),
+        _timeline_section(world),
+    ]
+    return "\n".join(sections)
+
+
+def _table1_section(world: World, result: InferenceResult) -> str:
+    headers = ["Inference Group"] + [r.name for r in ALL_RIRS] + ["All"]
+    rows = []
+    for label, category in _ROWS:
+        row: List[object] = [label]
+        row.extend(result.tally(rir).counts[category] for rir in ALL_RIRS)
+        row.append(sum(result.tally(rir).counts[category] for rir in ALL_RIRS))
+        rows.append(row)
+    share = 100.0 * result.total_leased() / world.routing_table.num_prefixes()
+    return "\n".join(
+        (
+            "## Table 1 — prefixes per inference group",
+            "",
+            to_markdown(headers, rows),
+            (
+                f"**{result.total_leased():,} leased prefixes = "
+                f"{share:.1f}% of all advertised prefixes** "
+                "(paper: 4.1%)."
+            ),
+            "",
+        )
+    )
+
+
+def _table2_section(world: World, result: InferenceResult) -> str:
+    reference = curate_reference(
+        world.whois,
+        world.broker_registry,
+        world.routing_table,
+        not_leased_exclusions=world.curation_exclusions,
+        negative_isp_org_ids=world.negative_isp_org_ids,
+    )
+    report = evaluate_inference(result, reference)
+    matrix = report.matrix
+    table = to_markdown(
+        ["", "Inferred lease", "Inferred non-lease"],
+        [
+            ["Actual lease", matrix.tp, matrix.fn],
+            ["Actual non-lease", matrix.fp, matrix.tn],
+        ],
+    )
+    return "\n".join(
+        (
+            "## Table 2 — evaluation against the curated reference",
+            "",
+            table,
+            (
+                f"Precision {matrix.precision:.2f}, recall "
+                f"{matrix.recall:.2f}, specificity {matrix.specificity:.2f}, "
+                f"accuracy {matrix.accuracy:.2f} (paper: 0.98 / 0.82 / 0.98 "
+                "/ 0.88). False negatives: "
+                f"{report.fn_unused} inactive leases (Unused) and "
+                f"{report.fn_invisible} legacy blocks."
+            ),
+            "",
+        )
+    )
+
+
+def _table3_section(world: World, result: InferenceResult) -> str:
+    ranking = top_holders(result, world.whois, 3)
+    rows = []
+    for rir in ALL_RIRS:
+        for index, (name, count) in enumerate(ranking[rir]):
+            rows.append([rir.name if index == 0 else "", name, count])
+    return "\n".join(
+        (
+            "## Table 3 — top IP holders by inferred leases",
+            "",
+            to_markdown(["RIR", "Organization", "Leases"], rows),
+            "",
+        )
+    )
+
+
+def _ecosystem_section(world: World, result: InferenceResult) -> str:
+    facilitators = top_facilitators(result, k=3)
+    originators = top_originators(result, k=3)
+    rows = []
+    for rir in ALL_RIRS:
+        fac = ", ".join(f"{h} ({c})" for h, c in facilitators[rir]) or "—"
+        orig = ", ".join(f"AS{a} ({c})" for a, c in originators[rir]) or "—"
+        rows.append([rir.name, fac, orig])
+    overlap = hijacker_overlap(result, world.routing_table, world.hijackers)
+    return "\n".join(
+        (
+            "## §6.3 — ecosystem",
+            "",
+            to_markdown(["RIR", "Top facilitators", "Top originators"], rows),
+            (
+                f"Serial hijackers: {overlap.hijacker_originators}/"
+                f"{overlap.lease_originators} originators "
+                f"({100 * overlap.originator_share:.1f}%), originating "
+                f"{100 * overlap.leased_share:.1f}% of leased vs "
+                f"{100 * overlap.non_leased_share:.1f}% of non-leased "
+                "prefixes (paper: 2.9%, 13.3%, 3.1%)."
+            ),
+            "",
+        )
+    )
+
+
+def _abuse_section(world: World, result: InferenceResult) -> str:
+    drop = world.drop
+    stats = drop_correlation(result, world.routing_table, drop)
+    leased = result.leased_prefixes()
+    non_leased = set(world.routing_table.prefixes()) - leased
+    roa_leased = roa_abuse_analysis(leased, world.roas, drop)
+    roa_other = roa_abuse_analysis(non_leased, world.roas, drop)
+    return "\n".join(
+        (
+            "## §6.4 — abuse",
+            "",
+            (
+                f"* DROP-originated: {100 * stats.leased_share:.1f}% of "
+                f"leased vs {100 * stats.non_leased_share:.1f}% of "
+                f"non-leased — **{stats.risk_ratio:.1f}× more likely** "
+                "(paper: ≈5×)."
+            ),
+            (
+                f"* ROAs naming a blocklisted AS: "
+                f"{100 * roa_leased.blocklisted_share:.1f}% of leased-space "
+                f"ROAs vs {100 * roa_other.blocklisted_share:.1f}% "
+                "(paper: 1.6% vs 0.2%)."
+            ),
+            "",
+        )
+    )
+
+
+def _timeline_section(world: World) -> str:
+    featured = world.featured
+    bgp = BgpOriginHistory()
+    for timestamp, origins in featured.bgp_observations:
+        bgp.add_observation(timestamp, origins)
+    timeline = build_timeline(featured.prefix, bgp, featured.rpki_archive)
+    return "\n".join(
+        (
+            "## Fig. 3 — lease timeline of the featured prefix",
+            "",
+            "```",
+            render_timeline(timeline),
+            "```",
+            (
+                f"{timeline.lease_count()} leases, "
+                f"{len(timeline.as0_periods())} AS0 windows between them "
+                "(§6.5)."
+            ),
+            "",
+        )
+    )

@@ -1,0 +1,168 @@
+"""Paper-style reports: Tables 1-3 and the §6.3/§6.4 statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.abuse import DropCorrelation, RoaAbuseStats
+from ..core.classify import Category
+from ..core.ecosystem import HijackerOverlap
+from ..core.metrics import ConfusionMatrix
+from ..core.results import InferenceResult
+from ..rir import ALL_RIRS, RIR
+from .text import render_table
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_hijacker_stats",
+    "render_drop_stats",
+    "render_roa_stats",
+]
+
+_ROW_ORDER = [
+    ("1 Unused", (Category.UNUSED,)),
+    ("2 Aggregated Customer", (Category.AGGREGATED_CUSTOMER,)),
+    ("3 ISP Customer", (Category.ISP_CUSTOMER,)),
+    ("3 Leased", (Category.LEASED_GROUP3,)),
+    ("4 Delegated Customer", (Category.DELEGATED_CUSTOMER,)),
+    ("4 Leased", (Category.LEASED_GROUP4,)),
+]
+
+
+def render_table1(result: InferenceResult, total_bgp_prefixes: int = 0) -> str:
+    """Table 1: prefix counts per inference group per region."""
+    headers = ["Inference Group"] + [rir.name for rir in ALL_RIRS] + [
+        "All Regions"
+    ]
+    rows: List[List[object]] = []
+    for label, categories in _ROW_ORDER:
+        row: List[object] = [label]
+        total = 0
+        for rir in ALL_RIRS:
+            count = sum(
+                result.tally(rir).counts[category] for category in categories
+            )
+            row.append(count)
+            total += count
+        row.append(total)
+        rows.append(row)
+    leased_row: List[object] = ["Leased/Total"]
+    for rir in ALL_RIRS:
+        tally = result.tally(rir)
+        leased_row.append(f"{tally.leased:,}/{tally.total:,}")
+    leased_row.append(f"{result.total_leased():,}/{result.total_classified():,}")
+    rows.append(leased_row)
+    title = "Table 1: Number of prefixes in each category"
+    if total_bgp_prefixes:
+        share = 100.0 * result.total_leased() / total_bgp_prefixes
+        title += (
+            f" ({result.total_leased():,} leased = {share:.1f}% of "
+            f"{total_bgp_prefixes:,} routed prefixes)"
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_table2(matrix: ConfusionMatrix) -> str:
+    """Table 2: the confusion matrix with Appendix-A metrics."""
+    rows = [
+        ["Actual Lease", matrix.tp, matrix.fn, f"Recall {matrix.recall:.2f}"],
+        [
+            "Actual Non-lease",
+            matrix.fp,
+            matrix.tn,
+            f"Specificity {matrix.specificity:.2f}",
+        ],
+        [
+            "",
+            f"Precision {matrix.precision:.2f}",
+            f"NPV {matrix.npv:.2f}",
+            f"Accuracy {matrix.accuracy:.2f}",
+        ],
+    ]
+    return render_table(
+        ["", "Inferred Lease", "Inferred Non-lease", ""],
+        rows,
+        title=(
+            f"Table 2: Confusion matrix over {matrix.total:,} validated "
+            "prefixes"
+        ),
+    )
+
+
+def render_table3(ranking: Dict[RIR, List[Tuple[str, int]]]) -> str:
+    """Table 3: top IP holders by inferred lease count per region."""
+    rows: List[List[object]] = []
+    for rir in ALL_RIRS:
+        for index, (name, count) in enumerate(ranking.get(rir, [])):
+            rows.append([rir.name if index == 0 else "", name, count])
+    return render_table(
+        ["RIR", "Organization", "Count"],
+        rows,
+        title="Table 3: Top IP holders by number of inferred leases",
+    )
+
+
+def render_hijacker_stats(stats: HijackerOverlap) -> str:
+    """§6.3: serial-hijacker overlap lines."""
+    return "\n".join(
+        (
+            "Serial-hijacker overlap (§6.3):",
+            (
+                f"  {stats.hijacker_originators}/{stats.lease_originators} "
+                f"({100 * stats.originator_share:.1f}%) lease originators "
+                "are serial hijackers"
+            ),
+            (
+                f"  {stats.leased_by_hijackers}/{stats.leased_prefixes} "
+                f"({100 * stats.leased_share:.1f}%) leased prefixes "
+                "originated by serial hijackers"
+            ),
+            (
+                f"  {stats.non_leased_by_hijackers}/"
+                f"{stats.non_leased_prefixes} "
+                f"({100 * stats.non_leased_share:.1f}%) non-leased prefixes "
+                "originated by serial hijackers"
+            ),
+        )
+    )
+
+
+def render_drop_stats(stats: DropCorrelation) -> str:
+    """§6.4: ASN-DROP origination comparison."""
+    return "\n".join(
+        (
+            "Spamhaus ASN-DROP origination (§6.4):",
+            (
+                f"  leased: {stats.leased_by_blocklisted}/"
+                f"{stats.leased_prefixes} "
+                f"({100 * stats.leased_share:.1f}%)"
+            ),
+            (
+                f"  non-leased: {stats.non_leased_by_blocklisted}/"
+                f"{stats.non_leased_prefixes} "
+                f"({100 * stats.non_leased_share:.1f}%)"
+            ),
+            f"  leased space is {stats.risk_ratio:.1f}x more likely abused",
+        )
+    )
+
+
+def render_roa_stats(leased: RoaAbuseStats, non_leased: RoaAbuseStats) -> str:
+    """§6.4: ROAs authorizing blocklisted ASes."""
+    return "\n".join(
+        (
+            "ROAs naming blocklisted ASes (§6.4):",
+            (
+                f"  leased prefixes: {leased.roas_blocklisted}/"
+                f"{leased.roas_total} ROAs "
+                f"({100 * leased.blocklisted_share:.1f}%)"
+            ),
+            (
+                f"  non-leased prefixes: {non_leased.roas_blocklisted}/"
+                f"{non_leased.roas_total} ROAs "
+                f"({100 * non_leased.blocklisted_share:.1f}%)"
+            ),
+        )
+    )

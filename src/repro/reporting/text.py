@@ -1,0 +1,50 @@
+"""Minimal text-table rendering for terminal reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a right-padded ASCII table.
+
+    Numeric cells are right-aligned; everything else left-aligned.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_format(value) for value in row])
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(cells):
+        rendered = " | ".join(
+            value.rjust(width) if _is_numeric(value) else value.ljust(width)
+            for value, width in zip(row, widths)
+        )
+        lines.append(rendered.rstrip())
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_numeric(value: str) -> bool:
+    stripped = value.replace(",", "").replace(".", "").replace("%", "")
+    return stripped.lstrip("-").isdigit() if stripped else False

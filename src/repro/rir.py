@@ -1,0 +1,44 @@
+"""The five Regional Internet Registries and their display metadata."""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+__all__ = ["RIR", "ALL_RIRS"]
+
+
+class RIR(enum.Enum):
+    """A Regional Internet Registry.
+
+    Member order follows the paper's tables (Table 1, Table 3): RIPE, ARIN,
+    APNIC, AFRINIC, LACNIC.
+    """
+
+    RIPE = "ripe"
+    ARIN = "arin"
+    APNIC = "apnic"
+    AFRINIC = "afrinic"
+    LACNIC = "lacnic"
+
+    @property
+    def display_name(self) -> str:
+        """Name as printed in the paper's tables."""
+        return self.name
+
+    @property
+    def whois_source(self) -> str:
+        """Value of the RPSL ``source:`` attribute for this registry."""
+        return self.name
+
+    @classmethod
+    def parse(cls, text: str) -> "RIR":
+        """Parse a registry name case-insensitively."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown RIR: {text!r}") from None
+
+
+#: All registries in table order.
+ALL_RIRS: List[RIR] = list(RIR)

@@ -1,0 +1,14 @@
+"""RPKI substrate: ROAs, snapshots, archives, and origin validation."""
+
+from .archive import RpkiArchive
+from .roa import AS0, ROA, RoaSet
+from .validation import ValidationState, validate_origin
+
+__all__ = [
+    "AS0",
+    "ROA",
+    "RoaSet",
+    "RpkiArchive",
+    "ValidationState",
+    "validate_origin",
+]

@@ -1,0 +1,39 @@
+"""RFC 6811 route origin validation against a ROA snapshot."""
+
+from __future__ import annotations
+
+import enum
+
+from ..net import Prefix
+from .roa import RoaSet
+
+__all__ = ["ValidationState", "validate_origin"]
+
+
+class ValidationState(enum.Enum):
+    """The three RFC 6811 outcomes."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    NOT_FOUND = "not-found"
+
+
+def validate_origin(
+    roas: RoaSet, prefix: Prefix, origin: int
+) -> ValidationState:
+    """Validate an announced ``(prefix, origin)`` pair.
+
+    * NOT_FOUND — no ROA covers the prefix.
+    * VALID — some covering ROA names the origin and its maxLength admits
+      the announced length.
+    * INVALID — covered, but no ROA authorizes the pair.  AS0 ROAs can
+      never authorize anything (RFC 7607), so space covered only by AS0
+      is INVALID for every origin — the drop-and-ROA defense of §6.5.
+    """
+    covering = roas.covering(prefix)
+    if not covering:
+        return ValidationState.NOT_FOUND
+    for roa in covering:
+        if roa.authorizes(prefix, origin):
+            return ValidationState.VALID
+    return ValidationState.INVALID

@@ -1,0 +1,24 @@
+"""Synthetic-Internet generator: scenarios, ground truth, and the world."""
+
+from .geo import build_geo_databases
+from .groundtruth import GroundTruth, TruthEntry, TruthKind
+from .irr import build_route_registry
+from .scenario import MegaHolder, RegionSpec, Scenario, paper_world, small_world
+from .world import FeaturedPrefix, World, WorldBuilder, build_world
+
+__all__ = [
+    "FeaturedPrefix",
+    "GroundTruth",
+    "MegaHolder",
+    "RegionSpec",
+    "Scenario",
+    "TruthEntry",
+    "TruthKind",
+    "World",
+    "WorldBuilder",
+    "build_geo_databases",
+    "build_route_registry",
+    "build_world",
+    "paper_world",
+    "small_world",
+]

@@ -1,0 +1,83 @@
+"""Synthetic IRR route objects for a generated world.
+
+Connectivity customers and background networks keep their route objects
+current; leased blocks tend to carry *stale* objects registered before
+the lease (pointing at the holder's AS) because lessors rarely clean up
+— the registry-inaccuracy effect the paper's introduction describes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..whois.routes import RouteObject, RouteRegistry
+from .groundtruth import TruthKind
+from .world import World
+
+__all__ = ["build_route_registry"]
+
+
+def build_route_registry(
+    world: World,
+    fresh_coverage: float = 0.85,
+    leased_stale_share: float = 0.55,
+    leased_updated_share: float = 0.25,
+) -> RouteRegistry:
+    """Derive an IRR from the world's ground truth.
+
+    * non-leased announced blocks: a correct route object with
+      probability *fresh_coverage*;
+    * leased blocks: a stale holder-origin object with probability
+      *leased_stale_share*, an updated lessee-origin object with
+      probability *leased_updated_share*, else nothing.
+    """
+    rng = random.Random(world.scenario.seed ^ 0x1BB)
+    registry = RouteRegistry()
+    holder_asn: Dict[str, int] = {}
+    for database in world.whois:
+        for record in database.autnums:
+            if record.org_id and record.org_id not in holder_asn:
+                holder_asn[record.org_id] = record.asn
+
+    truth_prefixes = set()
+    for entry in world.ground_truth:
+        truth_prefixes.add(entry.prefix)
+        origins = world.routing_table.exact_origins(entry.prefix)
+        if entry.kind in (TruthKind.LEASED_ACTIVE, TruthKind.LEASED_LEGACY):
+            roll = rng.random()
+            if roll < leased_stale_share:
+                stale_origin = holder_asn.get(entry.holder_org_id or "", 0)
+                if stale_origin:
+                    registry.add(
+                        RouteObject(
+                            prefix=entry.prefix,
+                            origin=stale_origin,
+                            rir=entry.rir,
+                        )
+                    )
+            elif roll < leased_stale_share + leased_updated_share:
+                if entry.lessee_asn is not None:
+                    registry.add(
+                        RouteObject(
+                            prefix=entry.prefix,
+                            origin=entry.lessee_asn,
+                            rir=entry.rir,
+                        )
+                    )
+        elif origins and rng.random() < fresh_coverage:
+            registry.add(
+                RouteObject(
+                    prefix=entry.prefix,
+                    origin=min(origins),
+                    rir=entry.rir,
+                )
+            )
+
+    # Background announcements: mostly fresh objects.
+    for prefix, origins in world.routing_table.items():
+        if prefix in truth_prefixes:
+            continue
+        if rng.random() < fresh_coverage:
+            registry.add(RouteObject(prefix=prefix, origin=min(origins)))
+    return registry

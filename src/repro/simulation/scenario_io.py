@@ -1,0 +1,76 @@
+"""Scenario (de)serialization: JSON config files.
+
+Lets users pin, share, and tweak generation parameters without touching
+code — ``repro generate --config my_world.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from ..rir import RIR
+from .scenario import MegaHolder, RegionSpec, Scenario
+
+__all__ = ["scenario_to_json", "scenario_from_json", "load_scenario_file"]
+
+
+def scenario_to_json(scenario: Scenario, indent: int = 2) -> str:
+    """Serialize a scenario to JSON text."""
+    payload = dataclasses.asdict(scenario)
+    payload["regions"] = [
+        _region_to_dict(region) for region in scenario.regions
+    ]
+    return json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+
+
+def scenario_from_json(text: str) -> Scenario:
+    """Parse a scenario from JSON text.
+
+    Unknown keys are rejected so config typos fail loudly.
+    """
+    payload = json.loads(text)
+    regions = tuple(
+        _region_from_dict(region) for region in payload.pop("regions")
+    )
+    if "drop_months" in payload:
+        payload["drop_months"] = tuple(payload["drop_months"])
+    _validate_keys(payload, Scenario, context="scenario")
+    return Scenario(regions=regions, **payload)
+
+
+def load_scenario_file(path: Path) -> Scenario:
+    """Load a scenario from a JSON file."""
+    return scenario_from_json(Path(path).read_text())
+
+
+def _region_to_dict(region: RegionSpec) -> Dict[str, Any]:
+    payload = dataclasses.asdict(region)
+    payload["rir"] = region.rir.value
+    payload["mega_holders"] = [
+        dataclasses.asdict(holder) for holder in region.mega_holders
+    ]
+    payload["address_pools"] = list(region.address_pools)
+    return payload
+
+
+def _region_from_dict(payload: Dict[str, Any]) -> RegionSpec:
+    payload = dict(payload)
+    payload["rir"] = RIR.parse(payload["rir"])
+    payload["mega_holders"] = tuple(
+        MegaHolder(**holder) for holder in payload.get("mega_holders", ())
+    )
+    payload["address_pools"] = tuple(payload.get("address_pools", ()))
+    _validate_keys(payload, RegionSpec, context="region")
+    return RegionSpec(**payload)
+
+
+def _validate_keys(payload: Dict[str, Any], cls, context: str) -> None:
+    known = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {context} keys: {', '.join(sorted(unknown))}"
+        )

@@ -1,0 +1,256 @@
+"""Indexed in-memory WHOIS databases.
+
+A :class:`WhoisDatabase` holds the normalized records of one registry and
+maintains the indexes the inference needs:
+
+* address blocks by maintainer handle and by organisation (broker matching,
+  §5.3, and facilitator attribution, §6.3),
+* AS registrations by organisation (§5.1 step 3 "Assign AS numbers"),
+* organisations by handle and by normalized name (§5.3 name matching).
+
+A :class:`WhoisCollection` bundles the five regional databases.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..rir import ALL_RIRS, RIR
+from . import arin as arin_format
+from . import lacnic as lacnic_format
+from . import rpsl as rpsl_format
+from .objects import (
+    AutNumRecord,
+    InetnumRecord,
+    MntnerRecord,
+    OrgRecord,
+)
+
+__all__ = ["WhoisDatabase", "WhoisCollection"]
+
+Record = Union[InetnumRecord, AutNumRecord, OrgRecord, MntnerRecord]
+
+
+class WhoisDatabase:
+    """Normalized, indexed WHOIS snapshot for a single registry."""
+
+    def __init__(self, rir: RIR) -> None:
+        self.rir = rir
+        self.inetnums: List[InetnumRecord] = []
+        self.autnums: List[AutNumRecord] = []
+        self.orgs: Dict[str, OrgRecord] = {}
+        self.mntners: Dict[str, MntnerRecord] = {}
+        self._inetnums_by_maintainer: Dict[str, List[InetnumRecord]] = (
+            defaultdict(list)
+        )
+        self._inetnums_by_org: Dict[str, List[InetnumRecord]] = defaultdict(
+            list
+        )
+        self._autnums_by_org: Dict[str, List[AutNumRecord]] = defaultdict(list)
+        self._autnum_by_asn: Dict[int, AutNumRecord] = {}
+        self._orgs_by_name: Dict[str, List[OrgRecord]] = defaultdict(list)
+
+    # -- loading -------------------------------------------------------------
+    def add(self, record: Record) -> None:
+        """Insert one normalized record and update indexes."""
+        if isinstance(record, InetnumRecord):
+            self.inetnums.append(record)
+            for handle in record.maintainers:
+                self._inetnums_by_maintainer[handle].append(record)
+            if record.org_id:
+                self._inetnums_by_org[record.org_id].append(record)
+        elif isinstance(record, AutNumRecord):
+            self.autnums.append(record)
+            if record.org_id:
+                self._autnums_by_org[record.org_id].append(record)
+            self._autnum_by_asn[record.asn] = record
+        elif isinstance(record, OrgRecord):
+            self.orgs[record.org_id] = record
+            self._orgs_by_name[record.normalized_name()].append(record)
+        elif isinstance(record, MntnerRecord):
+            self.mntners[record.handle] = record
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported record type: {type(record)!r}")
+
+    def add_all(self, records: Iterable[Record]) -> None:
+        """Insert many records."""
+        for record in records:
+            self.add(record)
+
+    @classmethod
+    def from_file(cls, rir: RIR, path) -> "WhoisDatabase":
+        """Parse a registry dump file without loading it whole.
+
+        RPSL-style registries stream line by line; ARIN and LACNIC dumps
+        share the paragraph grammar and stream the same way.
+        """
+        from pathlib import Path
+
+        database = cls(rir)
+        with Path(path).open() as handle:
+            if rir is RIR.ARIN:
+                for obj in arin_format.parse_arin(handle):
+                    record = arin_format.normalize_arin_object(obj)
+                    if record is not None:
+                        database.add(record)
+            elif rir is RIR.LACNIC:
+                objects = list(lacnic_format.parse_lacnic(handle))
+                for obj in objects:
+                    record = lacnic_format.normalize_lacnic_object(obj)
+                    if record is not None:
+                        database.add(record)
+                for org in lacnic_format.synthesize_owner_orgs(objects):
+                    database.add(org)
+            else:
+                for obj in rpsl_format.parse_rpsl_file(handle):
+                    record = rpsl_format.normalize_rpsl_object(rir, obj)
+                    if record is not None:
+                        database.add(record)
+        return database
+
+    @classmethod
+    def from_text(cls, rir: RIR, text: str) -> "WhoisDatabase":
+        """Parse a registry dump in that registry's native flavour."""
+        database = cls(rir)
+        if rir is RIR.ARIN:
+            for obj in arin_format.parse_arin(text):
+                record = arin_format.normalize_arin_object(obj)
+                if record is not None:
+                    database.add(record)
+        elif rir is RIR.LACNIC:
+            objects = list(lacnic_format.parse_lacnic(text))
+            for obj in objects:
+                record = lacnic_format.normalize_lacnic_object(obj)
+                if record is not None:
+                    database.add(record)
+            for org in lacnic_format.synthesize_owner_orgs(objects):
+                database.add(org)
+        else:
+            for obj in rpsl_format.parse_rpsl(text):
+                record = rpsl_format.normalize_rpsl_object(rir, obj)
+                if record is not None:
+                    database.add(record)
+        return database
+
+    def to_text(self) -> str:
+        """Serialize back to the registry's native dump flavour.
+
+        RPSL-style dumps carry the conventional ``%`` header block; the
+        parsers skip comments, so round trips are unaffected.
+        """
+        if self.rir is RIR.ARIN:
+            blocks = (
+                [arin_format.org_to_arin(org) for org in self.orgs.values()]
+                + [arin_format.asn_to_arin(rec) for rec in self.autnums]
+                + [arin_format.net_to_arin(rec) for rec in self.inetnums]
+            )
+            return arin_format.serialize_arin(blocks)
+        if self.rir is RIR.LACNIC:
+            blocks = [
+                lacnic_format.inetnum_to_lacnic(
+                    rec, owner_name=self._owner_name(rec.org_id)
+                )
+                for rec in self.inetnums
+            ] + [
+                lacnic_format.autnum_to_lacnic(
+                    rec, owner_name=self._owner_name(rec.org_id)
+                )
+                for rec in self.autnums
+            ]
+            return lacnic_format.serialize_lacnic(blocks)
+        blocks = (
+            [rpsl_format.org_to_rpsl(org) for org in self.orgs.values()]
+            + [rpsl_format.autnum_to_rpsl(rec) for rec in self.autnums]
+            + [rpsl_format.inetnum_to_rpsl(rec) for rec in self.inetnums]
+        )
+        header = (
+            f"% This is a {self.rir.name} database snapshot.\n"
+            f"% Objects: {len(self.orgs)} organisations, "
+            f"{len(self.autnums)} aut-nums, {len(self.inetnums)} inetnums.\n"
+            "\n"
+        )
+        return header + rpsl_format.serialize_objects(blocks)
+
+    def _owner_name(self, org_id: Optional[str]) -> str:
+        if org_id and org_id in self.orgs:
+            return self.orgs[org_id].name
+        return ""
+
+    # -- queries -------------------------------------------------------------
+    def inetnums_by_maintainer(self, handle: str) -> List[InetnumRecord]:
+        """Address blocks whose maintainers include *handle*."""
+        return list(self._inetnums_by_maintainer.get(handle, ()))
+
+    def inetnums_by_org(self, org_id: str) -> List[InetnumRecord]:
+        """Address blocks registered to organisation *org_id*."""
+        return list(self._inetnums_by_org.get(org_id, ()))
+
+    def autnums_by_org(self, org_id: str) -> List[AutNumRecord]:
+        """AS registrations of organisation *org_id* (§5.1 step 3)."""
+        return list(self._autnums_by_org.get(org_id, ()))
+
+    def asns_of_org(self, org_id: str) -> List[int]:
+        """The AS numbers registered to *org_id*."""
+        return [record.asn for record in self.autnums_by_org(org_id)]
+
+    def autnum(self, asn: int) -> Optional[AutNumRecord]:
+        """The registration of *asn*, or None."""
+        return self._autnum_by_asn.get(asn)
+
+    def org(self, org_id: str) -> Optional[OrgRecord]:
+        """The organisation with handle *org_id*, or None."""
+        return self.orgs.get(org_id)
+
+    def orgs_named(self, name: str) -> List[OrgRecord]:
+        """Organisations whose normalized name equals *name* (case-folded)."""
+        return list(self._orgs_by_name.get(" ".join(name.split()).casefold(), ()))
+
+    def org_names(self) -> List[str]:
+        """All organisation display names (for fuzzy matching)."""
+        return [org.name for org in self.orgs.values()]
+
+    def maintainer_handles(self) -> List[str]:
+        """All maintainer handles appearing on address blocks."""
+        return list(self._inetnums_by_maintainer)
+
+    def __len__(self) -> int:
+        return (
+            len(self.inetnums)
+            + len(self.autnums)
+            + len(self.orgs)
+            + len(self.mntners)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WhoisDatabase({self.rir.name}: {len(self.inetnums)} blocks, "
+            f"{len(self.autnums)} autnums, {len(self.orgs)} orgs)"
+        )
+
+
+class WhoisCollection:
+    """The five regional databases, addressable by registry."""
+
+    def __init__(
+        self, databases: Optional[Dict[RIR, WhoisDatabase]] = None
+    ) -> None:
+        self._databases: Dict[RIR, WhoisDatabase] = {
+            rir: WhoisDatabase(rir) for rir in ALL_RIRS
+        }
+        if databases:
+            self._databases.update(databases)
+
+    def __getitem__(self, rir: RIR) -> WhoisDatabase:
+        return self._databases[rir]
+
+    def __iter__(self) -> Iterator[WhoisDatabase]:
+        return iter(self._databases.values())
+
+    def databases(self) -> Dict[RIR, WhoisDatabase]:
+        """The registry → database mapping (live, not a copy)."""
+        return self._databases
+
+    def total_inetnums(self) -> int:
+        """Address blocks across all registries."""
+        return sum(len(db.inetnums) for db in self)

@@ -1,0 +1,136 @@
+"""LACNIC bulk-WHOIS format parsing and serialization.
+
+LACNIC does not store organisations as independent objects; each
+``inetnum`` / ``aut-num`` block embeds ``owner`` and ``ownerid`` fields
+(§5.1 step 1 of the paper).  Normalization therefore synthesizes
+:class:`OrgRecord` entries from the embedded owner fields so downstream
+code sees the same shape for every registry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from ..net import AddressRange
+from ..rir import RIR
+from .objects import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    RpslObject,
+    parse_asn,
+)
+from .rpsl import parse_rpsl, serialize_objects
+
+__all__ = [
+    "parse_lacnic",
+    "normalize_lacnic_object",
+    "synthesize_owner_orgs",
+    "inetnum_to_lacnic",
+    "autnum_to_lacnic",
+    "serialize_lacnic",
+]
+
+
+def parse_lacnic(text: Union[str, Iterable[str]]) -> Iterator[RpslObject]:
+    """Yield blocks from LACNIC bulk text (same paragraph grammar)."""
+    yield from parse_rpsl(text)
+
+
+def normalize_lacnic_object(
+    obj: RpslObject,
+) -> Union[InetnumRecord, AutNumRecord, None]:
+    """Convert a LACNIC block to a normalized record, if relevant.
+
+    The embedded ``ownerid`` becomes the record's ``org_id`` and also its
+    sole maintainer handle (LACNIC has no maintainer objects).
+    """
+    cls = obj.object_class
+    if cls == "inetnum":
+        owner_id = obj.first("ownerid")
+        return InetnumRecord(
+            rir=RIR.LACNIC,
+            range=AddressRange.parse(obj.primary_key),
+            status=obj.first("status") or "",
+            org_id=owner_id,
+            maintainers=(owner_id,) if owner_id else (),
+            net_name=obj.first("owner") or "",
+            handle=obj.primary_key,
+            country=obj.first("country"),
+            source_class="inetnum",
+        )
+    if cls == "aut-num":
+        owner_id = obj.first("ownerid")
+        return AutNumRecord(
+            rir=RIR.LACNIC,
+            asn=parse_asn(obj.primary_key),
+            org_id=owner_id,
+            maintainers=(owner_id,) if owner_id else (),
+            as_name=obj.first("owner") or "",
+            handle=obj.primary_key,
+        )
+    return None
+
+
+def synthesize_owner_orgs(objects: Iterable[RpslObject]) -> List[OrgRecord]:
+    """Build organisation records from embedded owner fields.
+
+    One record per distinct ``ownerid``; the first-seen ``owner`` name and
+    ``country`` win, mirroring how the paper reconstructs LACNIC
+    organisations.
+    """
+    seen: dict = {}
+    for obj in objects:
+        owner_id = obj.first("ownerid")
+        if owner_id is None or owner_id in seen:
+            continue
+        seen[owner_id] = OrgRecord(
+            rir=RIR.LACNIC,
+            org_id=owner_id,
+            name=obj.first("owner") or "",
+            maintainers=(owner_id,),
+            country=obj.first("country"),
+        )
+    return list(seen.values())
+
+
+def _owner_fields(
+    org_id: str, owner_name: str, country: str
+) -> List[Tuple[str, str]]:
+    fields: List[Tuple[str, str]] = []
+    if owner_name:
+        fields.append(("owner", owner_name))
+    fields.append(("ownerid", org_id))
+    if country:
+        fields.append(("country", country))
+    return fields
+
+
+def inetnum_to_lacnic(record: InetnumRecord, owner_name: str = "") -> RpslObject:
+    """Render a normalized block as a LACNIC inetnum (CIDR spelled)."""
+    prefixes = record.range.to_prefixes()
+    key = str(prefixes[0]) if len(prefixes) == 1 else str(record.range)
+    obj = RpslObject()
+    obj.add("inetnum", key)
+    obj.add("status", record.status)
+    for name, value in _owner_fields(
+        record.org_id or "", owner_name or record.net_name, record.country or ""
+    ):
+        obj.add(name, value)
+    return obj
+
+
+def autnum_to_lacnic(record: AutNumRecord, owner_name: str = "") -> RpslObject:
+    """Render a normalized AS registration as a LACNIC aut-num."""
+    obj = RpslObject()
+    obj.add("aut-num", f"AS{record.asn}")
+    for name, value in _owner_fields(
+        record.org_id or "", owner_name or record.as_name, ""
+    ):
+        obj.add(name, value)
+    return obj
+
+
+def serialize_lacnic(objects: Iterable[RpslObject]) -> str:
+    """Render LACNIC blocks back to bulk text."""
+    return serialize_objects(objects)

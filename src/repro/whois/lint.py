@@ -1,0 +1,144 @@
+"""WHOIS database linting: structural checks a registry QA pass runs.
+
+Real dumps are imperfect; before inferring anything the paper's pipeline
+implicitly relies on properties this linter makes explicit:
+
+* address blocks carry a recognized status for their registry,
+* non-portable blocks nest inside a covering registered block,
+* referenced organisations exist,
+* AS registrations point at existing organisations,
+* address ranges are well-formed (non-inverted, non-duplicate).
+
+The linter reports issues; it never mutates the database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net import Prefix, PrefixTrie
+from .database import WhoisDatabase
+from .statuses import Portability
+
+__all__ = ["LintIssue", "LintLevel", "lint_database"]
+
+
+class LintLevel(enum.Enum):
+    """Severity of a lint finding."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    """One finding: severity, a short code, and the offending subject."""
+
+    level: LintLevel
+    code: str
+    subject: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.level.value}: [{self.code}] {self.subject}{suffix}"
+
+
+def lint_database(database: WhoisDatabase) -> List[LintIssue]:
+    """Run all checks over one regional database."""
+    issues: List[LintIssue] = []
+    issues.extend(_check_statuses(database))
+    issues.extend(_check_org_references(database))
+    issues.extend(_check_autnum_orgs(database))
+    issues.extend(_check_nesting(database))
+    issues.extend(_check_duplicates(database))
+    return issues
+
+
+def _check_statuses(database: WhoisDatabase) -> List[LintIssue]:
+    issues = []
+    for record in database.inetnums:
+        if record.portability is Portability.UNKNOWN:
+            issues.append(
+                LintIssue(
+                    level=LintLevel.WARNING,
+                    code="unknown-status",
+                    subject=str(record.range),
+                    detail=f"status {record.status!r} not recognized for "
+                    f"{database.rir.name}",
+                )
+            )
+    return issues
+
+
+def _check_org_references(database: WhoisDatabase) -> List[LintIssue]:
+    issues = []
+    for record in database.inetnums:
+        if record.org_id and database.org(record.org_id) is None:
+            issues.append(
+                LintIssue(
+                    level=LintLevel.ERROR,
+                    code="dangling-org",
+                    subject=str(record.range),
+                    detail=f"references missing {record.org_id}",
+                )
+            )
+    return issues
+
+
+def _check_autnum_orgs(database: WhoisDatabase) -> List[LintIssue]:
+    issues = []
+    for record in database.autnums:
+        if record.org_id and database.org(record.org_id) is None:
+            issues.append(
+                LintIssue(
+                    level=LintLevel.ERROR,
+                    code="dangling-org",
+                    subject=f"AS{record.asn}",
+                    detail=f"references missing {record.org_id}",
+                )
+            )
+    return issues
+
+
+def _check_nesting(database: WhoisDatabase) -> List[LintIssue]:
+    """Non-portable blocks should have a covering registered block."""
+    trie: PrefixTrie[bool] = PrefixTrie()
+    for record in database.inetnums:
+        for prefix in record.range.to_prefixes():
+            trie.insert(prefix, True)
+    issues = []
+    for record in database.inetnums:
+        if record.portability is not Portability.NON_PORTABLE:
+            continue
+        for prefix in record.range.to_prefixes():
+            if trie.parent(prefix) is None:
+                issues.append(
+                    LintIssue(
+                        level=LintLevel.WARNING,
+                        code="orphan-nonportable",
+                        subject=str(prefix),
+                        detail="no covering registered block",
+                    )
+                )
+    return issues
+
+
+def _check_duplicates(database: WhoisDatabase) -> List[LintIssue]:
+    seen: dict = {}
+    issues = []
+    for record in database.inetnums:
+        key = (record.range.first, record.range.last)
+        if key in seen:
+            issues.append(
+                LintIssue(
+                    level=LintLevel.WARNING,
+                    code="duplicate-range",
+                    subject=str(record.range),
+                    detail="registered more than once",
+                )
+            )
+        seen[key] = record
+    return issues

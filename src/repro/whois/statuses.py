@@ -1,0 +1,90 @@
+"""Per-RIR WHOIS status vocabularies and the portability taxonomy.
+
+The paper's inference is grounded in the three address-space categories of
+§2.1: *portable* space distributed by an RIR directly, *non-portable* space
+sub-allocated/assigned by holders of portable space, and *legacy* space
+predating the RIR system (no defined portability).  Each RIR spells these
+categories differently; this module maps every status string to a
+:class:`Portability` value.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..rir import RIR
+
+__all__ = ["Portability", "classify_status", "STATUS_TABLES"]
+
+
+class Portability(enum.Enum):
+    """The paper's three address-space categories plus an unknown bucket."""
+
+    PORTABLE = "portable"
+    NON_PORTABLE = "non-portable"
+    LEGACY = "legacy"
+    UNKNOWN = "unknown"
+
+
+# Status spellings per RIR, normalized to upper case.  Sources: §2.1 of the
+# paper and the RIR policy manuals it cites (RIPE ripe-822, ARIN NRPM,
+# APNIC address-management objectives, AFRINIC CPM, LACNIC policy manual).
+_RIPE_STYLE: Dict[str, Portability] = {
+    # Portable: distributed by the RIR.
+    "ALLOCATED PA": Portability.PORTABLE,
+    "ALLOCATED UNSPECIFIED": Portability.PORTABLE,
+    "ASSIGNED PI": Portability.PORTABLE,
+    "ASSIGNED ANYCAST": Portability.PORTABLE,
+    # Non-portable: carved out of a holder's portable block.
+    "SUB-ALLOCATED PA": Portability.NON_PORTABLE,
+    "ASSIGNED PA": Portability.NON_PORTABLE,
+    "LIR-PARTITIONED PA": Portability.NON_PORTABLE,
+    # Legacy.
+    "LEGACY": Portability.LEGACY,
+}
+
+_APNIC: Dict[str, Portability] = {
+    "ALLOCATED PORTABLE": Portability.PORTABLE,
+    "ASSIGNED PORTABLE": Portability.PORTABLE,
+    "ALLOCATED NON-PORTABLE": Portability.NON_PORTABLE,
+    "ASSIGNED NON-PORTABLE": Portability.NON_PORTABLE,
+    "LEGACY": Portability.LEGACY,
+}
+
+_ARIN: Dict[str, Portability] = {
+    # NetType values in ARIN bulk WHOIS.
+    "ALLOCATION": Portability.PORTABLE,
+    "ASSIGNMENT": Portability.PORTABLE,
+    "DIRECT ALLOCATION": Portability.PORTABLE,
+    "DIRECT ASSIGNMENT": Portability.PORTABLE,
+    "REALLOCATION": Portability.NON_PORTABLE,
+    "REASSIGNMENT": Portability.NON_PORTABLE,
+    "LEGACY": Portability.LEGACY,
+}
+
+_LACNIC: Dict[str, Portability] = {
+    "ALLOCATED": Portability.PORTABLE,
+    "ASSIGNED": Portability.PORTABLE,
+    "REALLOCATED": Portability.NON_PORTABLE,
+    "REASSIGNED": Portability.NON_PORTABLE,
+    "LEGACY": Portability.LEGACY,
+}
+
+#: Status-string table per registry (RIPE and AFRINIC share the RPSL style).
+STATUS_TABLES: Dict[RIR, Dict[str, Portability]] = {
+    RIR.RIPE: _RIPE_STYLE,
+    RIR.AFRINIC: _RIPE_STYLE,
+    RIR.APNIC: _APNIC,
+    RIR.ARIN: _ARIN,
+    RIR.LACNIC: _LACNIC,
+}
+
+
+def classify_status(rir: RIR, status: str) -> Portability:
+    """Map a raw WHOIS status string to its portability category.
+
+    Unrecognized statuses map to :data:`Portability.UNKNOWN`; the pipeline
+    treats those conservatively (they are neither tree roots nor leaves).
+    """
+    return STATUS_TABLES[rir].get(status.strip().upper(), Portability.UNKNOWN)

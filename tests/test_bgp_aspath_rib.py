@@ -1,0 +1,148 @@
+"""Unit tests for AS paths, routing tables, and the table-dump format."""
+
+import pytest
+
+from repro.bgp import (
+    ASPath,
+    RibEntry,
+    RoutingTable,
+    read_table_dump,
+    write_table_dump,
+)
+from repro.bgp.table_dump import TableDumpError, parse_line
+from repro.net import Prefix
+
+
+class TestASPath:
+    def test_parse_and_str(self):
+        path = ASPath.parse("3356 8851 15169")
+        assert str(path) == "3356 8851 15169"
+        assert path.origin == 15169
+        assert path.peer == 3356
+        assert len(path) == 3
+
+    def test_of(self):
+        assert ASPath.of(1, 2).asns == (1, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ASPath(())
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            ASPath.parse("12 abc")
+
+    def test_prepending_collapse(self):
+        path = ASPath.parse("1 2 2 2 3")
+        assert path.without_prepending().asns == (1, 2, 3)
+
+    def test_loop_detection(self):
+        assert ASPath.parse("1 2 1").contains_loop()
+        assert not ASPath.parse("1 2 2 3").contains_loop()
+
+    def test_prepend(self):
+        assert ASPath.of(2, 3).prepend(1).asns == (1, 2, 3)
+        assert ASPath.of(2).prepend(1, count=3).asns == (1, 1, 1, 2)
+        with pytest.raises(ValueError):
+            ASPath.of(2).prepend(1, count=0)
+
+
+class TestRoutingTable:
+    @pytest.fixture
+    def table(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("213.210.0.0/18"), 8851)
+        table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+        table.add_route(Prefix.parse("198.51.100.0/24"), 64500)
+        table.add_route(Prefix.parse("198.51.100.0/24"), 64501)  # MOAS
+        return table
+
+    def test_exact_origins(self, table):
+        assert table.exact_origins(Prefix.parse("213.210.33.0/24")) == {15169}
+        assert table.exact_origins(Prefix.parse("213.210.34.0/24")) == frozenset()
+
+    def test_covering_origins_prefers_exact(self, table):
+        assert table.covering_origins(Prefix.parse("213.210.0.0/18")) == {8851}
+
+    def test_covering_origins_falls_back_to_least_specific(self, table):
+        table.add_route(Prefix.parse("213.210.0.0/16"), 777)
+        # /20 inside both /16 and /18: least-specific covering is the /16.
+        assert table.covering_origins(Prefix.parse("213.210.16.0/20")) == {777}
+
+    def test_covering_origins_miss(self, table):
+        assert table.covering_origins(Prefix.parse("203.0.113.0/24")) == frozenset()
+
+    def test_moas(self, table):
+        moas = table.moas_prefixes()
+        assert len(moas) == 1
+        assert moas[0][1] == {64500, 64501}
+
+    def test_origin_index(self, table):
+        assert table.prefixes_of_origin(8851) == {Prefix.parse("213.210.0.0/18")}
+        assert 15169 in table.origins()
+
+    def test_num_prefixes_distinct(self, table):
+        assert table.num_prefixes() == 3
+
+    def test_total_address_space_deduplicates(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.0.0/16"), 1)
+        table.add_route(Prefix.parse("10.0.1.0/24"), 2)  # nested
+        table.add_route(Prefix.parse("192.0.2.0/24"), 3)
+        assert table.total_address_space() == (1 << 16) + 256
+
+    def test_merge(self, table):
+        other = RoutingTable()
+        other.add_route(Prefix.parse("192.0.2.0/24"), 99)
+        table.merge(other)
+        assert table.exact_origins(Prefix.parse("192.0.2.0/24")) == {99}
+
+    def test_contains(self, table):
+        assert Prefix.parse("213.210.0.0/18") in table
+        assert Prefix.parse("8.8.8.0/24") not in table
+
+
+class TestTableDump:
+    def make_entry(self):
+        return RibEntry(
+            prefix=Prefix.parse("213.210.33.0/24"),
+            path=ASPath.parse("3356 8851 15169"),
+            peer_asn=3356,
+            peer_address="198.32.160.1",
+            timestamp=1712102400,
+        )
+
+    def test_format(self):
+        line = write_table_dump([self.make_entry()]).strip()
+        assert line == (
+            "TABLE_DUMP2|1712102400|B|198.32.160.1|3356|"
+            "213.210.33.0/24|3356 8851 15169|IGP"
+        )
+
+    def test_round_trip(self):
+        entry = self.make_entry()
+        parsed = list(read_table_dump(write_table_dump([entry])))
+        assert parsed == [entry]
+
+    def test_origin_property(self):
+        assert self.make_entry().origin == 15169
+
+    def test_malformed_skipped_by_default(self):
+        text = "garbage\n" + write_table_dump([self.make_entry()])
+        assert len(list(read_table_dump(text))) == 1
+
+    def test_malformed_raises_in_strict_mode(self):
+        with pytest.raises(TableDumpError):
+            list(read_table_dump("TABLE_DUMP2|x|B|1.2.3.4|1|10.0.0.0/8|1|IGP", strict=True))
+
+    def test_wrong_marker_rejected(self):
+        with pytest.raises(TableDumpError):
+            parse_line("RIB|0|B|1.2.3.4|1|10.0.0.0/8|1|IGP")
+
+    def test_too_few_fields(self):
+        with pytest.raises(TableDumpError):
+            parse_line("TABLE_DUMP2|0|B")
+
+    def test_empty_dump(self):
+        assert write_table_dump([]) == ""
+        assert list(read_table_dump("")) == []

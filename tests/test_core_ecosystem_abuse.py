@@ -1,0 +1,193 @@
+"""Tests for ecosystem analysis (§6.3) and abuse correlation (§6.4)."""
+
+import math
+
+import pytest
+
+from repro.abuse import AsnDropList
+from repro.asdata import ASRelationships, SerialHijackerList
+from repro.bgp import P2C, RoutingTable
+from repro.core import (
+    drop_correlation,
+    hijacker_overlap,
+    infer_leases,
+    roa_abuse_analysis,
+    top_facilitators,
+    top_holders,
+    top_originators,
+)
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.rpki import AS0, ROA, RoaSet
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisCollection,
+    WhoisDatabase,
+)
+
+
+@pytest.fixture
+def world():
+    """Two holders: BigLease (3 leases) and SmallLease (1 lease)."""
+    db = WhoisDatabase(RIR.RIPE)
+    db.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-BIG", name="BigLease AB"))
+    db.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-SML", name="SmallLease Kft"))
+    db.add(AutNumRecord(rir=RIR.RIPE, asn=10, org_id="ORG-BIG"))
+    db.add(AutNumRecord(rir=RIR.RIPE, asn=20, org_id="ORG-SML"))
+    db.add(InetnumRecord(rir=RIR.RIPE, range=AddressRange.parse("10.0.0.0/16"),
+                         status="ALLOCATED PA", org_id="ORG-BIG",
+                         maintainers=("BIG-MNT",)))
+    db.add(InetnumRecord(rir=RIR.RIPE, range=AddressRange.parse("20.0.0.0/16"),
+                         status="ALLOCATED PA", org_id="ORG-SML",
+                         maintainers=("SML-MNT",)))
+    for octet in (1, 2, 3):
+        db.add(InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse(f"10.0.{octet}.0/24"),
+            status="ASSIGNED PA",
+            maintainers=("IPXO-MNT",),
+        ))
+    db.add(InetnumRecord(rir=RIR.RIPE,
+                         range=AddressRange.parse("20.0.1.0/24"),
+                         status="ASSIGNED PA",
+                         maintainers=("OTHER-MNT",)))
+
+    table = RoutingTable()
+    table.add_route(Prefix.parse("10.0.1.0/24"), 901)
+    table.add_route(Prefix.parse("10.0.2.0/24"), 901)
+    table.add_route(Prefix.parse("10.0.3.0/24"), 666)  # abusive lessee
+    table.add_route(Prefix.parse("20.0.1.0/24"), 902)
+    # Non-leased background prefixes.
+    table.add_route(Prefix.parse("30.0.0.0/16"), 300)
+    table.add_route(Prefix.parse("31.0.0.0/16"), 301)
+    table.add_route(Prefix.parse("32.0.0.0/16"), 666)
+
+    rels = ASRelationships()
+    rels.add(3356, 10, P2C)
+    rels.add(3356, 20, P2C)
+    whois = WhoisCollection({RIR.RIPE: db})
+    result = infer_leases(whois, table, rels)
+    return whois, table, result
+
+
+class TestEcosystem:
+    def test_top_holders(self, world):
+        whois, _table, result = world
+        ranking = top_holders(result, whois, k=3)[RIR.RIPE]
+        assert ranking[0] == ("BigLease AB", 3)
+        assert ranking[1] == ("SmallLease Kft", 1)
+
+    def test_top_facilitators(self, world):
+        _whois, _table, result = world
+        ranking = top_facilitators(result, k=2)[RIR.RIPE]
+        assert ranking[0] == ("IPXO-MNT", 3)
+
+    def test_top_originators(self, world):
+        _whois, _table, result = world
+        ranking = top_originators(result)[RIR.RIPE]
+        assert ranking[0][0] == 901 and ranking[0][1] == 2
+
+    def test_empty_region(self, world):
+        whois, _table, result = world
+        assert top_holders(result, whois)[RIR.LACNIC] == []
+
+    def test_hijacker_overlap(self, world):
+        _whois, table, result = world
+        hijackers = SerialHijackerList([666])
+        stats = hijacker_overlap(result, table, hijackers)
+        assert stats.lease_originators == 3  # 901, 666, 902
+        assert stats.hijacker_originators == 1
+        assert stats.leased_prefixes == 4
+        assert stats.leased_by_hijackers == 1
+        # Non-leased: 30/16, 31/16, 32/16 and the roots are absent from BGP.
+        assert stats.non_leased_prefixes == 3
+        assert stats.non_leased_by_hijackers == 1
+        assert stats.leased_share == pytest.approx(0.25)
+
+
+class TestDropCorrelation:
+    def test_shares_and_ratio(self, world):
+        _whois, table, result = world
+        drop = AsnDropList.from_asns([666])
+        stats = drop_correlation(result, table, drop)
+        assert stats.leased_prefixes == 4
+        assert stats.leased_by_blocklisted == 1
+        assert stats.non_leased_prefixes == 3
+        assert stats.non_leased_by_blocklisted == 1
+        assert stats.risk_ratio == pytest.approx(0.75)
+
+    def test_zero_non_leased_share_gives_nan_ratio(self, world):
+        _whois, table, result = world
+        stats = drop_correlation(result, table, AsnDropList())
+        assert math.isnan(stats.risk_ratio)
+
+
+class TestRoaAbuse:
+    def test_counts(self):
+        roas = RoaSet(
+            [
+                ROA(prefix=Prefix.parse("10.0.1.0/24"), asn=901),
+                ROA(prefix=Prefix.parse("10.0.3.0/24"), asn=666),
+                ROA(prefix=Prefix.parse("10.0.0.0/16"), asn=AS0),
+            ]
+        )
+        drop = AsnDropList.from_asns([666])
+        stats = roa_abuse_analysis(
+            {Prefix.parse("10.0.1.0/24"), Prefix.parse("10.0.3.0/24"),
+             Prefix.parse("10.0.4.0/24")},
+            roas,
+            drop,
+        )
+        assert stats.prefixes_considered == 3
+        assert stats.prefixes_with_roas == 3  # AS0 /16 covers all three
+        assert stats.roas_total == 3
+        assert stats.roas_blocklisted == 1  # AS0 never counts
+        assert stats.blocklisted_share == pytest.approx(1 / 3)
+
+    def test_empty_population(self):
+        stats = roa_abuse_analysis(set(), RoaSet(), AsnDropList())
+        assert math.isnan(stats.blocklisted_share)
+        assert math.isnan(stats.coverage)
+
+
+class TestMaintainerResolution:
+    def test_resolves_to_org_names(self, world):
+        from repro.core import resolve_maintainer_names
+
+        whois, _table, result = world
+        from repro.core import top_facilitators
+        from repro.rir import RIR
+
+        handles = [h for h, _c in top_facilitators(result)[RIR.RIPE]]
+        names = resolve_maintainer_names(whois, handles)
+        assert set(names) == set(handles)
+        # IPXO-MNT is not any org's maintainer here: falls back to itself.
+        assert names.get("IPXO-MNT", "IPXO-MNT") == "IPXO-MNT"
+
+    def test_world_facilitator_names(self):
+        from repro.core import (
+            infer_leases,
+            resolve_maintainer_names,
+            top_facilitators,
+        )
+        from repro.rir import RIR
+        from repro.simulation import build_world, small_world
+
+        world = build_world(small_world())
+        result = infer_leases(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+        handles = [
+            h for h, _c in top_facilitators(result, k=20)[RIR.RIPE]
+        ]
+        handles.append("IPXO-MNT")
+        names = resolve_maintainer_names(world.whois, handles)
+        assert names["IPXO-MNT"] == "IPXO LTD"
+        # Mega holders lease under their own maintainer: resolvable too.
+        mega = [n for n in names.values() if n.startswith("Mega ")]
+        assert mega

@@ -1,0 +1,220 @@
+"""Edge-case tests for the allocation tree and classifier."""
+
+import pytest
+
+from repro.asdata import ASRelationships
+from repro.bgp import P2C, RoutingTable
+from repro.core import (
+    AllocationTree,
+    Category,
+    LeaseInferencePipeline,
+)
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisDatabase,
+)
+
+
+def db_with(*records):
+    database = WhoisDatabase(RIR.RIPE)
+    for record in records:
+        database.add(record)
+    return database
+
+
+def inet(range_text, status="ASSIGNED PA", org=None, mnt="X-MNT"):
+    return InetnumRecord(
+        rir=RIR.RIPE,
+        range=AddressRange.parse(range_text),
+        status=status,
+        org_id=org,
+        maintainers=(mnt,),
+    )
+
+
+class TestOrphanLeaves:
+    def test_orphan_leaf_has_no_root(self):
+        database = db_with(inet("10.0.5.0/24"))
+        tree = AllocationTree(database)
+        leaves = tree.leaves()
+        assert len(leaves) == 1
+        assert not leaves[0].has_root
+        # Orphan non-portable leaves are not classifiable (no provider).
+        assert tree.classifiable_leaves() == []
+
+    def test_orphan_never_classified(self):
+        database = db_with(inet("10.0.5.0/24"))
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)
+        result = LeaseInferencePipeline(
+            database, table, ASRelationships()
+        ).run()
+        assert result.total_classified() == 0
+
+
+class TestUnknownStatuses:
+    def test_unknown_status_leaf_not_classifiable(self):
+        database = db_with(
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-X"),
+            inet("10.0.5.0/24", status="SOMETHING-ODD"),
+        )
+        tree = AllocationTree(database)
+        # The leaf exists in the tree but is not non-portable.
+        assert len(tree) == 2
+        assert tree.classifiable_leaves() == []
+
+    def test_unknown_root_still_roots_the_leaf(self):
+        # A leaf under an oddly-labelled root is still classified; the
+        # tree uses structure, not status, for root selection.
+        database = db_with(
+            inet("10.0.0.0/16", status="ODD-ROOT", org="ORG-X"),
+            inet("10.0.5.0/24"),
+        )
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)
+        result = LeaseInferencePipeline(
+            database, table, ASRelationships()
+        ).run()
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        assert verdict is not None
+        assert verdict.root_prefix == Prefix.parse("10.0.0.0/16")
+
+
+class TestDuplicateAndOverlappingRecords:
+    def test_duplicate_prefix_first_record_wins(self):
+        first = inet("10.0.5.0/24", mnt="FIRST-MNT")
+        second = inet("10.0.5.0/24", mnt="SECOND-MNT")
+        tree = AllocationTree(db_with(first, second))
+        assert tree.record_at(Prefix.parse("10.0.5.0/24")).maintainers == (
+            "FIRST-MNT",
+        )
+
+    def test_multi_prefix_range_all_in_tree(self):
+        # 10.0.0.0 - 10.0.2.255 = /23 + /24: both become tree nodes
+        # sharing the record.
+        record = inet("10.0.0.0 - 10.0.2.255")
+        tree = AllocationTree(db_with(record))
+        assert tree.record_at(Prefix.parse("10.0.0.0/23")) is record
+        assert tree.record_at(Prefix.parse("10.0.2.0/24")) is record
+
+
+class TestMoasLeaves:
+    @pytest.fixture
+    def registry(self):
+        database = db_with(
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-H", name="Holder"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-H"),
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-H"),
+            inet("10.0.5.0/24"),
+        )
+        rels = ASRelationships()
+        rels.add(100, 200, P2C)  # 200 is the holder's customer
+        return database, rels
+
+    def test_moas_with_one_related_origin_is_customer(self, registry):
+        database, rels = registry
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 200)  # related
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)  # unrelated
+        result = LeaseInferencePipeline(database, table, rels).run()
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        # §5.2: any relationship between leaf origins and root ASes makes
+        # it a customer, so MOAS with one related origin is not leased.
+        assert verdict.category is Category.ISP_CUSTOMER
+
+    def test_moas_with_no_related_origin_is_leased(self, registry):
+        database, rels = registry
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 998)
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)
+        result = LeaseInferencePipeline(database, table, rels).run()
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        assert verdict.category is Category.LEASED_GROUP3
+        assert verdict.leaf_origins == {998, 999}
+
+
+class TestMultipleRootASNs:
+    def test_any_assigned_asn_counts(self):
+        # The root org holds two ASNs; relation to either suffices.
+        database = db_with(
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-H", name="Holder"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-H"),
+            AutNumRecord(rir=RIR.RIPE, asn=101, org_id="ORG-H"),
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-H"),
+            inet("10.0.5.0/24"),
+        )
+        rels = ASRelationships()
+        rels.add(101, 500, P2C)  # customer of the SECOND assigned ASN
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 500)
+        result = LeaseInferencePipeline(database, table, rels).run()
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        assert verdict.root_assigned_asns == {100, 101}
+        assert verdict.category is Category.ISP_CUSTOMER
+
+
+class TestIntermediateNodes:
+    def test_intermediate_not_classified(self):
+        # /16 root > /20 intermediate sub-allocation > /24 leaf: only the
+        # /24 is classified (§5.1: "We do not focus on the intermediate
+        # nodes").
+        database = db_with(
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-H", name="Holder"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-H"),
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-H"),
+            inet("10.0.0.0/20", status="SUB-ALLOCATED PA"),
+            inet("10.0.5.0/24"),
+        )
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)
+        result = LeaseInferencePipeline(
+            database, table, ASRelationships()
+        ).run()
+        assert result.total_classified() == 1
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        # The root is the LEAST-specific covering record: the /16.
+        assert verdict.root_prefix == Prefix.parse("10.0.0.0/16")
+        assert result.lookup(Prefix.parse("10.0.0.0/20")) is None
+
+    def test_root_org_from_top_not_intermediate(self):
+        database = db_with(
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-TOP", name="Top"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-MID", name="Mid"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-TOP"),
+            AutNumRecord(rir=RIR.RIPE, asn=200, org_id="ORG-MID"),
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-TOP"),
+            inet("10.0.0.0/20", status="SUB-ALLOCATED PA", org="ORG-MID"),
+            inet("10.0.5.0/24"),
+        )
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.5.0/24"), 999)
+        result = LeaseInferencePipeline(
+            database, table, ASRelationships()
+        ).run()
+        verdict = result.lookup(Prefix.parse("10.0.5.0/24"))
+        assert verdict.holder_org_id == "ORG-TOP"
+        assert verdict.root_assigned_asns == {100}
+
+
+class TestEmptyInputs:
+    def test_empty_database(self):
+        result = LeaseInferencePipeline(
+            WhoisDatabase(RIR.RIPE), RoutingTable(), ASRelationships()
+        ).run()
+        assert result.total_classified() == 0
+        assert result.leased_prefixes() == frozenset()
+
+    def test_selected_rirs_only(self):
+        database = db_with(
+            inet("10.0.0.0/16", status="ALLOCATED PA", org="ORG-H"),
+            inet("10.0.5.0/24"),
+        )
+        pipeline = LeaseInferencePipeline(
+            database, RoutingTable(), ASRelationships()
+        )
+        assert len(pipeline.run(rirs=[RIR.ARIN])) == 0
+        assert len(pipeline.run(rirs=[RIR.RIPE])) == 1

@@ -1,0 +1,62 @@
+"""Tests for per-holder lease profiles."""
+
+import pytest
+
+from repro.core import holder_profiles, infer_leases
+from repro.rir import RIR
+from repro.simulation import build_world, small_world
+from repro.simulation.geo import build_geo_databases
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    world = build_world(small_world())
+    result = infer_leases(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    databases = build_geo_databases(world)
+    return world, result, holder_profiles(result, world.whois, databases)
+
+
+class TestHolderProfiles:
+    def test_mega_holders_lead(self, profiles):
+        _world, _result, ranking = profiles
+        for rir in RIR:
+            if ranking[rir]:
+                assert ranking[rir][0].name == f"Mega {rir.name}"
+
+    def test_counts_match_result(self, profiles):
+        _world, result, ranking = profiles
+        for rir in RIR:
+            total = sum(p.leased_prefixes for p in ranking[rir])
+            with_holder = sum(
+                1
+                for inf in result.leased(rir)
+                if inf.holder_org_id is not None
+            )
+            assert total == with_holder
+
+    def test_lessees_and_facilitators_recorded(self, profiles):
+        _world, _result, ranking = profiles
+        top = ranking[RIR.RIPE][0]
+        assert top.lessee_asns
+        assert top.facilitator_handles
+
+    def test_geography(self, profiles):
+        _world, _result, ranking = profiles
+        top = ranking[RIR.RIPE][0]
+        assert top.country_count >= 1
+        assert sum(c for _country, c in top.top_countries()) <= (
+            top.leased_prefixes
+        )
+
+    def test_without_geo_databases(self, profiles):
+        world, result, _ranking = profiles
+        ranking = holder_profiles(result, world.whois)
+        assert ranking[RIR.RIPE][0].country_count == 0
+
+    def test_k_limits(self, profiles):
+        world, result, _ranking = profiles
+        ranking = holder_profiles(result, world.whois, k=1)
+        for rir in RIR:
+            assert len(ranking[rir]) <= 1

@@ -1,0 +1,189 @@
+"""Tests for metrics, reference curation, and evaluation."""
+
+import math
+
+import pytest
+
+from repro.asdata import ASRelationships
+from repro.bgp import P2C, RoutingTable
+from repro.brokers import BrokerRegistry, RegisteredBroker
+from repro.core import (
+    Category,
+    ConfusionMatrix,
+    curate_reference,
+    evaluate_inference,
+    infer_leases,
+)
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisCollection,
+    WhoisDatabase,
+)
+
+
+class TestConfusionMatrix:
+    def test_paper_table2_numbers(self):
+        # Exactly the counts of Table 2.
+        matrix = ConfusionMatrix(tp=7735, fn=1743, fp=121, tn=5257)
+        assert matrix.total == 14856
+        assert round(matrix.precision, 2) == 0.98
+        assert round(matrix.recall, 2) == 0.82
+        assert round(matrix.specificity, 2) == 0.98
+        assert round(matrix.npv, 2) == 0.75
+        # The paper reports 0.88; the exact value is 0.8745.
+        assert matrix.accuracy == pytest.approx(0.8745, abs=0.001)
+
+    def test_add_prediction(self):
+        matrix = ConfusionMatrix()
+        matrix.add_prediction(actual_leased=True, inferred_leased=True)
+        matrix.add_prediction(actual_leased=True, inferred_leased=False)
+        matrix.add_prediction(actual_leased=False, inferred_leased=True)
+        matrix.add_prediction(actual_leased=False, inferred_leased=False)
+        assert (matrix.tp, matrix.fn, matrix.fp, matrix.tn) == (1, 1, 1, 1)
+
+    def test_empty_metrics_are_nan(self):
+        matrix = ConfusionMatrix()
+        assert math.isnan(matrix.precision)
+        assert math.isnan(matrix.recall)
+        assert math.isnan(matrix.accuracy)
+
+    def test_f1(self):
+        matrix = ConfusionMatrix(tp=8, fn=2, fp=2, tn=0)
+        assert matrix.f1 == pytest.approx(0.8)
+
+
+def build_world():
+    """A small registry with one broker (2 leases + 1 exclusion) and one ISP."""
+    db = WhoisDatabase(RIR.RIPE)
+    db.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-BRK", name="LeaseKing Ltd",
+                     maintainers=("BRK-MNT",)))
+    db.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-ISP", name="HomeNet ISP",
+                     maintainers=("ISP-MNT",)))
+    db.add(AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-ISP"))
+    db.add(AutNumRecord(rir=RIR.RIPE, asn=500, org_id="ORG-BRK"))
+    # Broker holds a portable /16; two /24s leased out, one /24 is a
+    # connectivity customer (to be excluded during curation).
+    db.add(InetnumRecord(rir=RIR.RIPE, range=AddressRange.parse("10.0.0.0/16"),
+                         status="ALLOCATED PA", org_id="ORG-BRK",
+                         maintainers=("BRK-MNT",)))
+    for octet in (1, 2, 3):
+        db.add(InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse(f"10.0.{octet}.0/24"),
+            status="ASSIGNED PA",
+            org_id=None,
+            maintainers=("BRK-MNT",),
+        ))
+    # ISP holds a portable /16 with two customer /24s it originates itself.
+    db.add(InetnumRecord(rir=RIR.RIPE, range=AddressRange.parse("20.0.0.0/16"),
+                         status="ALLOCATED PA", org_id="ORG-ISP",
+                         maintainers=("ISP-MNT",)))
+    for octet in (1, 2):
+        db.add(InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse(f"20.0.{octet}.0/24"),
+            status="ASSIGNED PA",
+            org_id="ORG-ISP",
+            maintainers=("ISP-MNT",),
+        ))
+
+    table = RoutingTable()
+    table.add_route(Prefix.parse("10.0.1.0/24"), 901)  # lessee 1
+    table.add_route(Prefix.parse("10.0.2.0/24"), 902)  # lessee 2
+    table.add_route(Prefix.parse("10.0.3.0/24"), 500)  # broker-as-ISP block
+    table.add_route(Prefix.parse("20.0.0.0/16"), 100)  # ISP aggregate
+    table.add_route(Prefix.parse("20.0.1.0/24"), 100)
+    table.add_route(Prefix.parse("20.0.2.0/24"), 100)
+
+    rels = ASRelationships()
+    rels.add(3356, 901, P2C)
+    rels.add(3356, 902, P2C)
+    rels.add(3356, 100, P2C)
+    rels.add(500, 100, P2C)  # unrelated noise
+
+    registry = BrokerRegistry([RegisteredBroker(RIR.RIPE, "LeaseKing L.T.D.")])
+    return WhoisCollection({RIR.RIPE: db}), table, rels, registry
+
+
+class TestCurationAndEvaluation:
+    @pytest.fixture
+    def world(self):
+        return build_world()
+
+    def test_curation_positive_labels(self, world):
+        whois, table, _rels, registry = world
+        reference = curate_reference(
+            whois,
+            registry,
+            table,
+            not_leased_exclusions=[Prefix.parse("10.0.3.0/24")],
+            negative_isp_org_ids={RIR.RIPE: ["ORG-ISP"]},
+        )
+        # The broker maintainer covers the /16 + three /24s; one excluded.
+        assert Prefix.parse("10.0.1.0/24") in reference.positives
+        assert Prefix.parse("10.0.2.0/24") in reference.positives
+        assert Prefix.parse("10.0.3.0/24") not in reference.positives
+        assert Prefix.parse("10.0.3.0/24") in reference.excluded_not_leased
+
+    def test_curation_negative_labels(self, world):
+        whois, table, _rels, registry = world
+        reference = curate_reference(
+            whois, registry, table,
+            negative_isp_org_ids={RIR.RIPE: ["ORG-ISP"]},
+        )
+        assert Prefix.parse("20.0.1.0/24") in reference.negatives
+        assert Prefix.parse("20.0.2.0/24") in reference.negatives
+
+    def test_match_report_recorded(self, world):
+        whois, table, _rels, registry = world
+        reference = curate_reference(whois, registry, table)
+        assert reference.match_reports[RIR.RIPE].exact_count == 1
+
+    def test_label_lookup(self, world):
+        whois, table, _rels, registry = world
+        reference = curate_reference(
+            whois, registry, table,
+            negative_isp_org_ids={RIR.RIPE: ["ORG-ISP"]},
+        )
+        assert reference.label(Prefix.parse("10.0.1.0/24")) is True
+        assert reference.label(Prefix.parse("20.0.1.0/24")) is False
+        assert reference.label(Prefix.parse("99.0.0.0/24")) is None
+
+    def test_end_to_end_evaluation(self, world):
+        whois, table, rels, registry = world
+        result = infer_leases(whois, table, rels)
+        reference = curate_reference(
+            whois,
+            registry,
+            table,
+            not_leased_exclusions=[Prefix.parse("10.0.3.0/24")],
+            negative_isp_org_ids={RIR.RIPE: ["ORG-ISP"]},
+        )
+        report = evaluate_inference(result, reference)
+        # Both leased /24s found; the broker /16 root is a positive label
+        # but is a root (never classified) -> FN with category None...
+        # Actually the /16 is portable and the broker maintains it, so it
+        # is a positive label that the method cannot flag.
+        assert report.matrix.tp == 2
+        assert report.matrix.fp == 0
+        # Negatives: the two customer /24s plus the ISP's own /16 root.
+        assert report.matrix.tn == 3
+        assert report.matrix.fn == 1
+        assert report.fn_invisible == 1
+
+    def test_fn_unused_breakdown(self, world):
+        whois, _table, rels, registry = world
+        # Empty routing table: every broker block is an inactive lease.
+        empty = RoutingTable()
+        result = infer_leases(whois, empty, rels)
+        reference = curate_reference(
+            whois, registry, empty,
+            not_leased_exclusions=[Prefix.parse("10.0.3.0/24")],
+        )
+        report = evaluate_inference(result, reference)
+        assert report.matrix.tp == 0
+        assert report.fn_by_category.get(Category.UNUSED, 0) == 2

@@ -1,0 +1,137 @@
+"""Tests for the Fig. 3 lease-timeline reconstruction."""
+
+import pytest
+
+from repro.core import (
+    BgpOriginHistory,
+    PeriodKind,
+    build_timeline,
+)
+from repro.net import Prefix
+from repro.rpki import AS0, ROA, RoaSet, RpkiArchive
+
+PREFIX = Prefix.parse("213.210.33.0/24")
+
+
+def roa_snapshot(asn):
+    return RoaSet([ROA(prefix=PREFIX, asn=asn)])
+
+
+@pytest.fixture
+def ipxo_like_history():
+    """Lease to AS834, AS0 gap, lease to AS8100, idle, lease to AS61317."""
+    rpki = RpkiArchive()
+    rpki.add_snapshot(100, roa_snapshot(834))
+    rpki.add_snapshot(200, roa_snapshot(AS0))
+    rpki.add_snapshot(300, roa_snapshot(8100))
+    rpki.add_snapshot(400, RoaSet())  # ROA revoked, nothing authorized
+    rpki.add_snapshot(500, roa_snapshot(61317))
+
+    bgp = BgpOriginHistory()
+    bgp.add_observation(100, {834})
+    bgp.add_observation(200, set())
+    bgp.add_observation(300, {8100})
+    bgp.add_observation(400, set())
+    bgp.add_observation(500, {61317})
+    return bgp, rpki
+
+
+class TestBgpOriginHistory:
+    def test_origins_at(self, ipxo_like_history):
+        bgp, _rpki = ipxo_like_history
+        assert bgp.origins_at(150) == {834}
+        assert bgp.origins_at(250) == frozenset()
+        assert bgp.origins_at(50) == frozenset()
+
+    def test_change_points(self, ipxo_like_history):
+        bgp, _rpki = ipxo_like_history
+        assert [ts for ts, _ in bgp.change_points()] == [100, 200, 300, 400, 500]
+
+    def test_repeated_observation_collapsed(self):
+        bgp = BgpOriginHistory()
+        bgp.add_observation(1, {10})
+        bgp.add_observation(2, {10})
+        bgp.add_observation(3, {20})
+        assert [ts for ts, _ in bgp.change_points()] == [1, 3]
+
+
+class TestTimeline:
+    def test_period_kinds(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        kinds = [p.kind for p in timeline.periods]
+        assert kinds == [
+            PeriodKind.LEASE,
+            PeriodKind.AS0,
+            PeriodKind.LEASE,
+            PeriodKind.IDLE,
+            PeriodKind.LEASE,
+        ]
+
+    def test_lease_segmentation(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        assert timeline.lease_count() == 3
+        assert timeline.distinct_lessee_asns() == {834, 8100, 61317}
+
+    def test_as0_between_leases(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        as0 = timeline.as0_periods()
+        assert len(as0) == 1
+        assert as0[0].start == 200 and as0[0].end == 300
+
+    def test_open_ended_last_period(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        assert timeline.periods[-1].end is None
+
+    def test_rows_tagging(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        rows = timeline.rows()
+        # AS834 appears in both RPKI and BGP during its lease.
+        assert rows[834] == [(100, 200, "both")]
+        assert rows[AS0] == [(200, 300, "rpki")]
+
+    def test_bgp_only_lease_detected(self):
+        # Announcement without any ROA still counts as a lease period.
+        bgp = BgpOriginHistory()
+        bgp.add_observation(10, {500})
+        timeline = build_timeline(PREFIX, bgp, RpkiArchive())
+        assert timeline.lease_count() == 1
+        assert timeline.periods[0].rpki_asns == frozenset()
+        assert timeline.rows()[500] == [(10, None, "bgp")]
+
+    def test_merge_of_identical_adjacent_states(self):
+        rpki = RpkiArchive()
+        rpki.add_snapshot(1, roa_snapshot(42))
+        rpki.add_snapshot(2, roa_snapshot(42))
+        bgp = BgpOriginHistory()
+        bgp.add_observation(1, {42})
+        bgp.add_observation(2, {42})
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        assert len(timeline.periods) == 1
+
+    def test_empty_history(self):
+        timeline = build_timeline(PREFIX, BgpOriginHistory(), RpkiArchive())
+        assert timeline.periods == []
+        assert timeline.lease_count() == 0
+
+
+class TestLeaseDurations:
+    def test_durations_exclude_open_segment(self, ipxo_like_history):
+        bgp, rpki = ipxo_like_history
+        timeline = build_timeline(PREFIX, bgp, rpki)
+        durations = timeline.lease_durations()
+        # Three leases; the last one is open-ended.
+        assert len(durations) == 2
+        assert durations == [100, 100]
+        assert timeline.median_lease_duration() == 100
+
+    def test_median_none_when_all_open(self):
+        bgp = BgpOriginHistory()
+        bgp.add_observation(10, {5})
+        timeline = build_timeline(PREFIX, bgp, RpkiArchive())
+        assert timeline.lease_durations() == []
+        assert timeline.median_lease_duration() is None

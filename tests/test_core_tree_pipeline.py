@@ -1,0 +1,303 @@
+"""Tests for the allocation tree and the end-to-end pipeline.
+
+The pipeline fixture reconstructs the paper's Fig. 2 example: GCI
+Network holds portable 213.210.0.0/18 (AS8851, originated in BGP);
+213.210.33.0/24 is a non-portable sub-assignment maintained by IPXO and
+originated by the unrelated AS15169 — a group-4 lease.  A second leaf,
+213.210.2.0/23 maintained by GCI itself and not originated, aggregates
+into the /18 (group 2).
+"""
+
+import pytest
+
+from repro.asdata import AS2Org, ASRelationships
+from repro.bgp import P2C, RoutingTable
+from repro.core import (
+    AllocationTree,
+    Category,
+    LeaseInferencePipeline,
+    infer_leases,
+    maintainer_baseline,
+)
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisCollection,
+    WhoisDatabase,
+)
+
+
+def make_ripe_db():
+    db = WhoisDatabase(RIR.RIPE)
+    db.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-GCI1-RIPE", name="GCI Network"))
+    db.add(
+        AutNumRecord(
+            rir=RIR.RIPE, asn=8851, org_id="ORG-GCI1-RIPE", as_name="GCI-AS"
+        )
+    )
+    db.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.0.0/18"),
+            status="ALLOCATED PA",
+            org_id="ORG-GCI1-RIPE",
+            maintainers=("MNT-GCICOM",),
+            net_name="GCI-NET",
+        )
+    )
+    db.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.33.0/24"),
+            status="ASSIGNED PA",
+            org_id=None,
+            maintainers=("IPXO-MNT",),
+            net_name="IPXO-LEASE",
+        )
+    )
+    db.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse("213.210.2.0/23"),
+            status="ASSIGNED PA",
+            org_id=None,
+            maintainers=("MNT-GCICOM",),
+            net_name="GCI-CUSTOMER",
+        )
+    )
+    return db
+
+
+@pytest.fixture
+def ripe_db():
+    return make_ripe_db()
+
+
+@pytest.fixture
+def routing_table():
+    table = RoutingTable()
+    table.add_route(Prefix.parse("213.210.0.0/18"), 8851)
+    table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+    return table
+
+
+@pytest.fixture
+def relationships():
+    rels = ASRelationships()
+    rels.add(3356, 8851, P2C)
+    rels.add(3356, 15169, P2C)  # both buy transit from 3356; NOT related
+    return rels
+
+
+class TestAllocationTree:
+    def test_roots_and_leaves(self, ripe_db):
+        tree = AllocationTree(ripe_db)
+        assert [str(p) for p, _ in tree.roots()] == ["213.210.0.0/18"]
+        leaves = tree.classifiable_leaves()
+        assert {str(leaf.prefix) for leaf in leaves} == {
+            "213.210.33.0/24",
+            "213.210.2.0/23",
+        }
+
+    def test_leaf_root_association(self, ripe_db):
+        tree = AllocationTree(ripe_db)
+        for leaf in tree.classifiable_leaves():
+            assert str(leaf.root_prefix) == "213.210.0.0/18"
+            assert leaf.root_record.org_id == "ORG-GCI1-RIPE"
+
+    def test_hyper_specific_filter(self, ripe_db):
+        ripe_db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("213.210.33.0/28"),
+                status="ASSIGNED PA",
+                org_id=None,
+            )
+        )
+        tree = AllocationTree(ripe_db)
+        assert tree.hyper_specific_dropped == 1
+        assert tree.record_at(Prefix.parse("213.210.33.0/28")) is None
+
+    def test_legacy_excluded(self, ripe_db):
+        ripe_db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("192.88.0.0/16"),
+                status="LEGACY",
+                org_id=None,
+            )
+        )
+        tree = AllocationTree(ripe_db)
+        assert tree.legacy_dropped == 1
+        assert tree.record_at(Prefix.parse("192.88.0.0/16")) is None
+
+    def test_unaligned_range_splits_into_prefixes(self):
+        db = WhoisDatabase(RIR.RIPE)
+        db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0 - 10.0.2.255"),
+                status="ALLOCATED PA",
+                org_id="ORG-X",
+            )
+        )
+        tree = AllocationTree(db)
+        assert len(tree) == 2  # /23 + /24
+
+    def test_portable_leaf_not_classifiable(self):
+        db = WhoisDatabase(RIR.RIPE)
+        db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0/16"),
+                status="ALLOCATED PA",
+                org_id="ORG-X",
+            )
+        )
+        tree = AllocationTree(db)
+        assert tree.classifiable_leaves() == []
+        assert len(tree.leaves()) == 1
+
+    def test_chain(self, ripe_db):
+        tree = AllocationTree(ripe_db)
+        chain = tree.chain(Prefix.parse("213.210.33.0/24"))
+        assert [str(p) for p, _ in chain] == [
+            "213.210.0.0/18",
+            "213.210.33.0/24",
+        ]
+
+
+class TestPipelineFig2:
+    def test_ipxo_leaf_is_group4_lease(self, ripe_db, routing_table, relationships):
+        result = infer_leases(ripe_db, routing_table, relationships)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.category is Category.LEASED_GROUP4
+        assert verdict.leaf_origins == {15169}
+        assert verdict.root_origins == {8851}
+        assert verdict.root_assigned_asns == {8851}
+
+    def test_business_roles(self, ripe_db, routing_table, relationships):
+        result = infer_leases(ripe_db, routing_table, relationships)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.holder_org_id == "ORG-GCI1-RIPE"
+        assert verdict.facilitator_handles == ("IPXO-MNT",)
+        assert verdict.originators == {15169}
+
+    def test_aggregated_customer(self, ripe_db, routing_table, relationships):
+        result = infer_leases(ripe_db, routing_table, relationships)
+        verdict = result.lookup(Prefix.parse("213.210.2.0/23"))
+        assert verdict.category is Category.AGGREGATED_CUSTOMER
+
+    def test_tally(self, ripe_db, routing_table, relationships):
+        result = infer_leases(ripe_db, routing_table, relationships)
+        tally = result.tally(RIR.RIPE)
+        assert tally.total == 2
+        assert tally.leased == 1
+        assert tally.counts[Category.AGGREGATED_CUSTOMER] == 1
+
+    def test_isp_customer_when_related(self, ripe_db, routing_table):
+        rels = ASRelationships()
+        rels.add(8851, 15169, P2C)  # now the originator buys from GCI
+        result = infer_leases(ripe_db, routing_table, rels)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.category is Category.DELEGATED_CUSTOMER
+
+    def test_unused_when_nothing_advertised(self, ripe_db, relationships):
+        result = infer_leases(ripe_db, RoutingTable(), relationships)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.category is Category.UNUSED
+
+    def test_group3_when_root_not_advertised(self, ripe_db, relationships):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+        result = infer_leases(ripe_db, table, relationships)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.category is Category.LEASED_GROUP3
+
+    def test_root_covering_lookup(self, ripe_db, relationships):
+        # The /18 is aggregated into a /17 announcement by GCI: the root
+        # origin must still be found via the covering-prefix search.
+        table = RoutingTable()
+        table.add_route(Prefix.parse("213.210.0.0/17"), 8851)
+        table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+        result = infer_leases(ripe_db, table, relationships)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.root_origins == {8851}
+        assert verdict.category is Category.LEASED_GROUP4
+
+    def test_ablation_exact_root_lookup(self, ripe_db, relationships):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("213.210.0.0/17"), 8851)
+        table.add_route(Prefix.parse("213.210.33.0/24"), 15169)
+        pipeline = LeaseInferencePipeline(
+            ripe_db, table, relationships, use_covering_root_lookup=False
+        )
+        result = pipeline.run()
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        # Without the covering lookup the root looks unadvertised: group 3.
+        assert verdict.category is Category.LEASED_GROUP3
+
+    def test_as2org_prevents_subsidiary_false_positive(
+        self, ripe_db, routing_table, relationships
+    ):
+        as2org = AS2Org()
+        as2org.add_org("ORG-BIG")
+        as2org.map_asn(8851, "ORG-BIG")
+        as2org.map_asn(15169, "ORG-BIG")  # same parent company
+        result = infer_leases(ripe_db, routing_table, relationships, as2org)
+        verdict = result.lookup(Prefix.parse("213.210.33.0/24"))
+        assert verdict.category is Category.DELEGATED_CUSTOMER
+
+    def test_collection_input(self, ripe_db, routing_table, relationships):
+        collection = WhoisCollection({RIR.RIPE: ripe_db})
+        result = infer_leases(collection, routing_table, relationships)
+        assert result.total_classified() == 2
+
+    def test_leased_prefixes_set(self, ripe_db, routing_table, relationships):
+        result = infer_leases(ripe_db, routing_table, relationships)
+        assert result.leased_prefixes() == {Prefix.parse("213.210.33.0/24")}
+
+
+class TestMaintainerBaseline:
+    def test_flags_maintainer_difference(self, ripe_db):
+        collection = WhoisCollection({RIR.RIPE: ripe_db})
+        verdicts = maintainer_baseline(collection)
+        assert verdicts[Prefix.parse("213.210.33.0/24")] is True
+        assert verdicts[Prefix.parse("213.210.2.0/23")] is False
+
+    def test_detects_inactive_lease_ours_misses(self, ripe_db, relationships):
+        # Nothing in BGP: our method says Unused, the baseline still flags
+        # the maintainer mismatch (§6.1 comparison).
+        collection = WhoisCollection({RIR.RIPE: ripe_db})
+        baseline = maintainer_baseline(collection)
+        ours = infer_leases(ripe_db, RoutingTable(), relationships)
+        prefix = Prefix.parse("213.210.33.0/24")
+        assert baseline[prefix] is True
+        assert ours.lookup(prefix).category is Category.UNUSED
+
+    def test_missing_maintainers_not_flagged(self):
+        db = WhoisDatabase(RIR.RIPE)
+        db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0/16"),
+                status="ALLOCATED PA",
+                org_id="ORG-X",
+                maintainers=(),
+            )
+        )
+        db.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.5.0/24"),
+                status="ASSIGNED PA",
+                org_id=None,
+                maintainers=("CUST-MNT",),
+            )
+        )
+        collection = WhoisCollection({RIR.RIPE: db})
+        verdicts = maintainer_baseline(collection)
+        assert verdicts[Prefix.parse("10.0.5.0/24")] is False

@@ -1,0 +1,131 @@
+"""Tests for the geolocation substrate, geo analysis, and bootstrap CIs."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    geo_consistency,
+    infer_leases,
+    risk_ratio_ci,
+    share_ci,
+)
+from repro.geo import CONTINENT_OF, GeoDatabase, continent_of, locate_across
+from repro.net import Prefix
+from repro.simulation import build_world, small_world
+from repro.simulation.geo import build_geo_databases
+
+
+class TestGeoDatabase:
+    @pytest.fixture
+    def db(self):
+        db = GeoDatabase("test")
+        db.add(Prefix.parse("10.0.0.0/8"), "us")
+        db.add(Prefix.parse("10.5.0.0/16"), "DE")
+        return db
+
+    def test_longest_match(self, db):
+        assert db.locate(Prefix.parse("10.5.1.0/24")) == "DE"
+        assert db.locate(Prefix.parse("10.9.0.0/16")) == "US"
+        assert db.locate(Prefix.parse("192.0.2.0/24")) is None
+
+    def test_country_upper_cased(self, db):
+        assert db.locate(Prefix.parse("10.0.0.0/8")) == "US"
+
+    def test_continent(self, db):
+        assert db.locate_continent(Prefix.parse("10.5.0.0/16")) == "EU"
+        assert db.locate_continent(Prefix.parse("8.0.0.0/8")) is None
+
+    def test_continent_of_unknown(self):
+        assert continent_of("zz") == "??"
+        assert continent_of("JP") == "AS"
+
+    def test_csv_round_trip(self, db):
+        reloaded = GeoDatabase.from_csv("copy", db.to_csv())
+        assert reloaded.locate(Prefix.parse("10.5.0.0/16")) == "DE"
+        assert len(reloaded) == len(db)
+
+    def test_locate_across(self, db):
+        other = GeoDatabase("other")
+        other.add(Prefix.parse("10.0.0.0/8"), "JP")
+        rows = locate_across([db, other], Prefix.parse("10.1.0.0/16"))
+        assert rows == [("test", "US"), ("other", "JP")]
+
+    def test_continent_table_complete(self):
+        assert all(len(c) == 2 for c in CONTINENT_OF.values())
+
+
+class TestGeoConsistency:
+    def test_spread_histograms(self):
+        prefix_a = Prefix.parse("10.0.0.0/24")  # consistent
+        prefix_b = Prefix.parse("10.0.1.0/24")  # 3 countries, 2 continents
+        dbs = []
+        for index, country in enumerate(("US", "DE", "JP")):
+            db = GeoDatabase(f"db{index}")
+            db.add(prefix_a, "US")
+            db.add(prefix_b, country if index else "DE")
+            dbs.append(db)
+        stats = geo_consistency([prefix_a, prefix_b], dbs)
+        assert stats.located == 2
+        assert stats.country_spread[1] == 1
+        assert stats.inconsistent_share == pytest.approx(0.5)
+        assert stats.max_continent_spread >= 2
+
+    def test_unlocated_prefixes(self):
+        stats = geo_consistency([Prefix.parse("192.0.2.0/24")], [GeoDatabase("x")])
+        assert stats.prefixes == 1 and stats.located == 0
+        assert math.isnan(stats.inconsistent_share)
+
+    def test_world_leased_less_consistent(self):
+        world = build_world(small_world())
+        dbs = build_geo_databases(world)
+        result = infer_leases(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+        leased = geo_consistency(result.leased_prefixes(), dbs)
+        background = geo_consistency(
+            set(world.routing_table.prefixes()) - result.leased_prefixes(),
+            dbs,
+        )
+        assert leased.inconsistent_share > background.inconsistent_share
+        assert leased.multi_continent_share > background.multi_continent_share
+        # The IPXO anecdote: some leased prefix spans several continents.
+        assert leased.max_continent_spread >= 3
+
+
+class TestBootstrapCI:
+    def test_share_ci_contains_estimate(self):
+        ci = share_ci(50, 1000)
+        assert ci.contains(0.05)
+        assert ci.low < ci.estimate < ci.high
+        assert "0.05" in str(ci)
+
+    def test_share_ci_narrows_with_n(self):
+        small = share_ci(5, 100)
+        large = share_ci(500, 10_000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_share_ci_validation(self):
+        with pytest.raises(ValueError):
+            share_ci(1, 0)
+        with pytest.raises(ValueError):
+            share_ci(5, 4)
+
+    def test_share_ci_deterministic(self):
+        assert share_ci(10, 100) == share_ci(10, 100)
+
+    def test_risk_ratio_ci(self):
+        ci = risk_ratio_ci(11, 1000, 20, 10_000)
+        assert ci.contains(5.5)
+        assert ci.low > 1.0  # significantly elevated
+
+    def test_risk_ratio_zero_control_rejected(self):
+        with pytest.raises(ValueError):
+            risk_ratio_ci(1, 10, 0, 10)
+
+    def test_risk_ratio_validation(self):
+        with pytest.raises(ValueError):
+            risk_ratio_ci(1, 0, 1, 10)

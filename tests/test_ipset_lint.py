@@ -1,0 +1,192 @@
+"""Tests for IPSet algebra and the WHOIS linter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import MAX_IPV4, AddressRange, IPSet, Prefix
+from repro.net.ipset import _normalize
+from repro.rir import RIR
+from repro.simulation import build_world, small_world
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    WhoisDatabase,
+)
+from repro.whois.lint import LintLevel, lint_database
+
+
+def ipset(*texts):
+    return IPSet(Prefix.parse(t) for t in texts)
+
+
+class TestIPSetBasics:
+    def test_len_and_bool(self):
+        assert len(ipset("10.0.0.0/24")) == 256
+        assert not IPSet()
+        assert ipset("10.0.0.0/32")
+
+    def test_merging_adjacent(self):
+        merged = ipset("10.0.0.0/25", "10.0.0.128/25")
+        assert merged == ipset("10.0.0.0/24")
+        assert len(merged.ranges()) == 1
+
+    def test_contains_address_and_prefix(self):
+        s = ipset("10.0.0.0/24")
+        assert Prefix.parse("10.0.0.128/25") in s
+        assert Prefix.parse("10.0.1.0/25") not in s
+        assert 0x0A000001 in s
+
+    def test_accepts_ranges(self):
+        s = IPSet([AddressRange.parse("10.0.0.0 - 10.0.2.255")])
+        assert len(s) == 768
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            IPSet(["10.0.0.0/24"])
+
+    def test_prefixes_decomposition(self):
+        s = IPSet([AddressRange.parse("10.0.0.0 - 10.0.2.255")])
+        assert [str(p) for p in s.prefixes()] == [
+            "10.0.0.0/23",
+            "10.0.2.0/24",
+        ]
+
+
+class TestIPSetAlgebra:
+    def test_union(self):
+        assert ipset("10.0.0.0/25") | ipset("10.0.0.128/25") == ipset(
+            "10.0.0.0/24"
+        )
+
+    def test_intersection(self):
+        result = ipset("10.0.0.0/16") & ipset("10.0.5.0/24", "11.0.0.0/8")
+        assert result == ipset("10.0.5.0/24")
+
+    def test_difference(self):
+        result = ipset("10.0.0.0/24") - ipset("10.0.0.64/26")
+        assert len(result) == 192
+        assert Prefix.parse("10.0.0.64/26") not in result
+        assert 0x0A000000 in result
+
+    def test_disjoint_and_subset(self):
+        assert ipset("10.0.0.0/24").isdisjoint(ipset("10.0.1.0/24"))
+        assert ipset("10.0.0.0/25").issubset(ipset("10.0.0.0/24"))
+        assert not ipset("10.0.0.0/23").issubset(ipset("10.0.0.0/24"))
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            _normalize([(5, 4)])
+        with pytest.raises(ValueError):
+            _normalize([(0, MAX_IPV4 + 1)])
+
+
+prefix_lists = st.lists(
+    st.integers(min_value=0, max_value=(1 << 12) - 1).map(
+        lambda block: Prefix((10 << 24) | (block << 12), 20)
+    ),
+    max_size=12,
+)
+
+
+class TestIPSetProperties:
+    @given(prefix_lists, prefix_lists)
+    @settings(max_examples=80)
+    def test_algebra_matches_python_sets(self, left_list, right_list):
+        # Model: sets of /20 block indexes.
+        left_model = {p.network for p in left_list}
+        right_model = {p.network for p in right_list}
+        left, right = IPSet(left_list), IPSet(right_list)
+        assert len(left | right) == len(left_model | right_model) * 4096
+        assert len(left & right) == len(left_model & right_model) * 4096
+        assert len(left - right) == len(left_model - right_model) * 4096
+
+    @given(prefix_lists)
+    def test_union_idempotent(self, prefixes):
+        s = IPSet(prefixes)
+        assert s | s == s
+        assert s - s == IPSet()
+        assert (s & s) == s
+
+
+class TestWhoisLint:
+    def test_clean_generated_world_is_mostly_clean(self):
+        world = build_world(small_world())
+        for database in world.whois:
+            issues = lint_database(database)
+            errors = [i for i in issues if i.level is LintLevel.ERROR]
+            assert errors == []
+            # Orphan warnings only for legacy-induced /22 leftovers etc.
+            for issue in issues:
+                assert issue.code in (
+                    "orphan-nonportable",
+                    "unknown-status",
+                    "duplicate-range",
+                )
+
+    def test_unknown_status_flagged(self):
+        database = WhoisDatabase(RIR.RIPE)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0/24"),
+                status="TOTALLY ODD",
+            )
+        )
+        issues = lint_database(database)
+        assert any(i.code == "unknown-status" for i in issues)
+
+    def test_dangling_org_flagged(self):
+        database = WhoisDatabase(RIR.RIPE)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0/16"),
+                status="ALLOCATED PA",
+                org_id="ORG-MISSING",
+            )
+        )
+        database.add(
+            AutNumRecord(rir=RIR.RIPE, asn=1, org_id="ORG-MISSING")
+        )
+        issues = lint_database(database)
+        dangling = [i for i in issues if i.code == "dangling-org"]
+        assert len(dangling) == 2
+        assert all(i.level is LintLevel.ERROR for i in dangling)
+
+    def test_orphan_nonportable_flagged(self):
+        database = WhoisDatabase(RIR.RIPE)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.5.0/24"),
+                status="ASSIGNED PA",
+            )
+        )
+        issues = lint_database(database)
+        assert any(i.code == "orphan-nonportable" for i in issues)
+
+    def test_duplicate_range_flagged(self):
+        database = WhoisDatabase(RIR.RIPE)
+        for _n in range(2):
+            database.add(
+                InetnumRecord(
+                    rir=RIR.RIPE,
+                    range=AddressRange.parse("10.0.0.0/16"),
+                    status="ALLOCATED PA",
+                )
+            )
+        issues = lint_database(database)
+        assert sum(1 for i in issues if i.code == "duplicate-range") == 1
+
+    def test_issue_str(self):
+        database = WhoisDatabase(RIR.RIPE)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.parse("10.0.0.0/24"),
+                status="ODD",
+            )
+        )
+        issue = lint_database(database)[0]
+        assert "unknown-status" in str(issue)

@@ -1,0 +1,135 @@
+"""Tests for route objects, the route registry, and IRR hygiene."""
+
+import math
+
+import pytest
+
+from repro.bgp import RoutingTable
+from repro.core import infer_leases
+from repro.core.irr import irr_hygiene
+from repro.net import Prefix
+from repro.rir import RIR
+from repro.simulation import build_world, small_world
+from repro.simulation.irr import build_route_registry
+from repro.whois import parse_rpsl
+from repro.whois.routes import RouteObject, RouteRegistry
+
+
+class TestRouteObject:
+    def test_rpsl_round_trip(self):
+        route = RouteObject(
+            prefix=Prefix.parse("213.210.33.0/24"),
+            origin=15169,
+            rir=RIR.RIPE,
+            maintainers=("IPXO-MNT",),
+        )
+        from repro.whois.rpsl import serialize_object
+
+        reparsed = RouteObject.from_rpsl(
+            RIR.RIPE, next(parse_rpsl(serialize_object(route.to_rpsl())))
+        )
+        assert reparsed.prefix == route.prefix
+        assert reparsed.origin == route.origin
+        assert reparsed.maintainers == route.maintainers
+
+    def test_from_rpsl_rejects_other_classes(self):
+        obj = next(parse_rpsl("inetnum: 10.0.0.0/24\n"))
+        assert RouteObject.from_rpsl(RIR.RIPE, obj) is None
+
+    def test_route_without_origin_skipped(self):
+        obj = next(parse_rpsl("route: 10.0.0.0/24\n"))
+        assert RouteObject.from_rpsl(RIR.RIPE, obj) is None
+
+    def test_negative_origin_rejected(self):
+        with pytest.raises(ValueError):
+            RouteObject(prefix=Prefix.parse("10.0.0.0/24"), origin=-1)
+
+
+class TestRouteRegistry:
+    @pytest.fixture
+    def registry(self):
+        return RouteRegistry(
+            [
+                RouteObject(prefix=Prefix.parse("10.0.0.0/16"), origin=100),
+                RouteObject(prefix=Prefix.parse("10.0.5.0/24"), origin=200),
+                RouteObject(prefix=Prefix.parse("10.0.5.0/24"), origin=201),
+            ]
+        )
+
+    def test_exact_origins(self, registry):
+        assert registry.exact_origins(Prefix.parse("10.0.5.0/24")) == {200, 201}
+        assert registry.exact_origins(Prefix.parse("10.0.6.0/24")) == frozenset()
+
+    def test_covering_origins(self, registry):
+        assert registry.covering_origins(Prefix.parse("10.0.5.0/24")) == {
+            100,
+            200,
+            201,
+        }
+
+    def test_has_route_for(self, registry):
+        assert registry.has_route_for(Prefix.parse("10.0.99.0/24"))
+        assert not registry.has_route_for(Prefix.parse("192.0.2.0/24"))
+
+    def test_idempotent_add(self, registry):
+        registry.add(
+            RouteObject(prefix=Prefix.parse("10.0.0.0/16"), origin=100)
+        )
+        assert len(registry) == 3
+
+    def test_text_round_trip(self, registry):
+        reloaded = RouteRegistry.from_text(RIR.RIPE, registry.to_text())
+        assert len(reloaded) == len(registry)
+        assert reloaded.exact_origins(Prefix.parse("10.0.5.0/24")) == {200, 201}
+
+
+class TestIrrHygiene:
+    def test_three_buckets(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("10.0.1.0/24"), 100)  # consistent
+        table.add_route(Prefix.parse("10.0.2.0/24"), 999)  # stale
+        table.add_route(Prefix.parse("10.0.3.0/24"), 300)  # unregistered
+        registry = RouteRegistry(
+            [
+                RouteObject(prefix=Prefix.parse("10.0.1.0/24"), origin=100),
+                RouteObject(prefix=Prefix.parse("10.0.2.0/24"), origin=200),
+            ]
+        )
+        stats = irr_hygiene(
+            [Prefix.parse(f"10.0.{i}.0/24") for i in (1, 2, 3)],
+            table,
+            registry,
+        )
+        assert (stats.consistent, stats.stale, stats.unregistered) == (1, 1, 1)
+        assert stats.stale_share == pytest.approx(0.5)
+        assert stats.consistent_share == pytest.approx(1 / 3)
+
+    def test_unannounced_ignored(self):
+        stats = irr_hygiene(
+            [Prefix.parse("10.0.0.0/24")], RoutingTable(), RouteRegistry()
+        )
+        assert stats.total == 0
+        assert math.isnan(stats.stale_share)
+
+    def test_world_leased_space_is_staler(self):
+        world = build_world(small_world())
+        registry = build_route_registry(world)
+        result = infer_leases(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+        leased = result.leased_prefixes()
+        background = set(world.routing_table.prefixes()) - leased
+        leased_stats = irr_hygiene(leased, world.routing_table, registry)
+        background_stats = irr_hygiene(
+            background, world.routing_table, registry
+        )
+        assert leased_stats.stale_share > background_stats.stale_share
+
+    def test_registry_deterministic(self):
+        world = build_world(small_world())
+        left = build_route_registry(world)
+        right = build_route_registry(world)
+        assert sorted(left) == sorted(right)

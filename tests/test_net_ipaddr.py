@@ -1,0 +1,157 @@
+"""Unit tests for repro.net.ipaddr."""
+
+import ipaddress
+
+import pytest
+
+from repro.net import (
+    MAX_IPV4,
+    AddressError,
+    Prefix,
+    address_to_int,
+    int_to_address,
+)
+
+
+class TestAddressConversion:
+    def test_round_trip_zero(self):
+        assert int_to_address(address_to_int("0.0.0.0")) == "0.0.0.0"
+
+    def test_round_trip_max(self):
+        assert address_to_int("255.255.255.255") == MAX_IPV4
+        assert int_to_address(MAX_IPV4) == "255.255.255.255"
+
+    def test_known_value(self):
+        assert address_to_int("10.0.0.1") == 0x0A000001
+
+    def test_whitespace_tolerated(self):
+        assert address_to_int("  192.0.2.1 ") == 0xC0000201
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "10.0.0", "10.0.0.0.0", "256.0.0.1", "a.b.c.d", "10.0.0.-1"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(AddressError):
+            address_to_int(bad)
+
+    def test_int_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            int_to_address(MAX_IPV4 + 1)
+        with pytest.raises(AddressError):
+            int_to_address(-1)
+
+
+class TestPrefixParsing:
+    def test_parse_basic(self):
+        prefix = Prefix.parse("213.210.0.0/18")
+        assert str(prefix) == "213.210.0.0/18"
+        assert prefix.length == 18
+
+    def test_parse_bare_address_is_host_route(self):
+        assert Prefix.parse("192.0.2.7").length == 32
+
+    def test_parse_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/24")
+
+    def test_parse_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/x")
+
+    def test_default_route(self):
+        prefix = Prefix.parse("0.0.0.0/0")
+        assert prefix.num_addresses == 1 << 32
+
+    def test_stdlib_round_trip(self):
+        network = ipaddress.IPv4Network("198.51.100.0/24")
+        prefix = Prefix.from_ipaddress(network)
+        assert prefix.to_ipaddress() == network
+
+
+class TestPrefixGeometry:
+    def test_first_last(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert int_to_address(prefix.first_address) == "10.0.0.0"
+        assert int_to_address(prefix.last_address) == "10.0.0.255"
+
+    def test_num_addresses(self):
+        assert Prefix.parse("10.0.0.0/24").num_addresses == 256
+        assert Prefix.parse("10.0.0.0/32").num_addresses == 1
+
+    def test_contains_self(self):
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert prefix.contains(prefix)
+
+    def test_contains_more_specific(self):
+        outer = Prefix.parse("10.0.0.0/16")
+        inner = Prefix.parse("10.0.42.0/24")
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_disjoint(self):
+        assert not Prefix.parse("10.0.0.0/16").contains(
+            Prefix.parse("10.1.0.0/24")
+        )
+
+    def test_contains_address(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert prefix.contains_address(address_to_int("10.0.0.3"))
+        assert not prefix.contains_address(address_to_int("10.0.0.4"))
+
+    def test_overlaps_is_symmetric(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.200.0.0/16")
+        assert outer.overlaps(inner) and inner.overlaps(outer)
+        assert not inner.overlaps(Prefix.parse("11.0.0.0/8"))
+
+
+class TestPrefixNavigation:
+    def test_supernet_one_bit(self):
+        assert str(Prefix.parse("10.0.1.0/24").supernet()) == "10.0.0.0/23"
+
+    def test_supernet_to_length(self):
+        assert (
+            str(Prefix.parse("10.0.255.0/24").supernet(16)) == "10.0.0.0/16"
+        )
+
+    def test_supernet_invalid(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/8").supernet(16)
+
+    def test_subnets_split(self):
+        halves = list(Prefix.parse("10.0.0.0/23").subnets())
+        assert [str(p) for p in halves] == ["10.0.0.0/24", "10.0.1.0/24"]
+
+    def test_subnets_to_length(self):
+        quarters = list(Prefix.parse("10.0.0.0/22").subnets(24))
+        assert len(quarters) == 4
+        assert str(quarters[-1]) == "10.0.3.0/24"
+
+    def test_nth_subnet_matches_iteration(self):
+        parent = Prefix.parse("172.16.0.0/12")
+        assert parent.nth_subnet(16, 5) == list(parent.subnets(16))[5]
+
+    def test_nth_subnet_bounds(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/24").nth_subnet(25, 2)
+
+    def test_ordering_places_covering_before_specifics(self):
+        prefixes = sorted(
+            [
+                Prefix.parse("10.0.1.0/24"),
+                Prefix.parse("10.0.0.0/16"),
+                Prefix.parse("10.0.0.0/24"),
+            ]
+        )
+        assert [str(p) for p in prefixes] == [
+            "10.0.0.0/16",
+            "10.0.0.0/24",
+            "10.0.1.0/24",
+        ]
+
+    def test_hashable_and_equal(self):
+        assert Prefix.parse("10.0.0.0/24") == Prefix.parse("10.0.0.0/24")
+        assert len({Prefix.parse("10.0.0.0/24")} | {Prefix.parse("10.0.0.0/24")}) == 1

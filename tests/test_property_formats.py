@@ -1,0 +1,173 @@
+"""Property-based round-trip tests for every on-disk format."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abuse import AsnDropEntry, AsnDropList
+from repro.asdata import AS2Org, ASRelationships, SerialHijackerList
+from repro.bgp import ASPath, P2C, P2P, RibEntry, read_table_dump, write_table_dump
+from repro.net import MAX_IPV4, AddressRange, Prefix
+from repro.rir import RIR
+from repro.rpki import ROA, RoaSet
+from repro.whois import (
+    InetnumRecord,
+    WhoisDatabase,
+    parse_rpsl,
+    serialize_objects,
+)
+from repro.whois.objects import RpslObject
+
+asns = st.integers(min_value=0, max_value=400_000)
+handles = st.text(
+    alphabet=string.ascii_uppercase + string.digits + "-", min_size=1, max_size=12
+).filter(lambda s: s.strip("-"))
+
+
+@st.composite
+def prefixes(draw, min_length=0, max_length=32):
+    length = draw(st.integers(min_value=min_length, max_value=max_length))
+    address = draw(st.integers(min_value=0, max_value=MAX_IPV4))
+    mask = (MAX_IPV4 << (32 - length)) & MAX_IPV4 if length else 0
+    return Prefix(address & mask, length)
+
+
+@st.composite
+def roas(draw):
+    prefix = draw(prefixes(min_length=8, max_length=24))
+    max_length = draw(st.integers(min_value=prefix.length, max_value=32))
+    return ROA(prefix=prefix, asn=draw(asns), max_length=max_length)
+
+
+class TestRpkiFormats:
+    @given(st.lists(roas(), max_size=30))
+    def test_vrp_csv_round_trip(self, roa_list):
+        original = RoaSet(roa_list)
+        reloaded = RoaSet.from_csv(original.to_csv())
+        assert sorted(reloaded) == sorted(original)
+
+
+class TestBgpFormats:
+    @given(
+        st.lists(
+            st.tuples(
+                prefixes(min_length=8, max_length=24),
+                st.lists(asns, min_size=1, max_size=6),
+                st.integers(min_value=0, max_value=2**31 - 1),
+            ),
+            max_size=25,
+        )
+    )
+    def test_table_dump_round_trip(self, rows):
+        entries = [
+            RibEntry(
+                prefix=prefix,
+                path=ASPath(tuple(path)),
+                peer_asn=path[0],
+                peer_address="198.51.100.1",
+                timestamp=timestamp,
+            )
+            for prefix, path, timestamp in rows
+        ]
+        reloaded = list(read_table_dump(write_table_dump(entries)))
+        assert reloaded == entries
+
+    @given(st.lists(st.tuples(asns, asns, st.sampled_from([P2C, P2P])), max_size=30))
+    def test_relationships_round_trip(self, edges):
+        dataset = ASRelationships()
+        for left, right, code in edges:
+            if left != right:
+                dataset.add(left, right, code)
+        reloaded = ASRelationships.from_text(dataset.to_text())
+        assert sorted(reloaded.edges()) == sorted(dataset.edges())
+
+
+class TestAsdataFormats:
+    @given(st.dictionaries(asns, st.sampled_from(["O1", "O2", "O3"]), max_size=30))
+    def test_as2org_round_trip(self, mapping):
+        dataset = AS2Org()
+        for org in set(mapping.values()):
+            dataset.add_org(org, f"Org {org}")
+        for asn, org in mapping.items():
+            dataset.map_asn(asn, org)
+        reloaded = AS2Org.from_jsonl(dataset.to_jsonl())
+        for asn, org in mapping.items():
+            assert reloaded.org_of(asn) == org
+
+    @given(st.sets(asns, max_size=40))
+    def test_hijackers_round_trip(self, asn_set):
+        original = SerialHijackerList(asn_set)
+        reloaded = SerialHijackerList.from_text(original.to_text())
+        assert reloaded.asns() == original.asns()
+
+    @given(st.sets(asns, max_size=40))
+    def test_drop_round_trip(self, asn_set):
+        original = AsnDropList(
+            AsnDropEntry(asn=asn, asname=f"AS-{asn}", cc="XX")
+            for asn in asn_set
+        )
+        reloaded = AsnDropList.from_json(original.to_json())
+        assert reloaded.asns() == original.asns()
+
+
+class TestWhoisFormats:
+    @given(
+        st.lists(
+            st.tuples(
+                prefixes(min_length=8, max_length=24),
+                st.lists(handles, min_size=1, max_size=3, unique=True),
+            ),
+            max_size=15,
+            unique_by=lambda row: row[0],
+        )
+    )
+    @settings(max_examples=50)
+    def test_rpsl_database_round_trip(self, blocks):
+        database = WhoisDatabase(RIR.RIPE)
+        for prefix, mnts in blocks:
+            database.add(
+                InetnumRecord(
+                    rir=RIR.RIPE,
+                    range=AddressRange.from_prefix(prefix),
+                    status="ASSIGNED PA",
+                    maintainers=tuple(mnts),
+                )
+            )
+        reloaded = WhoisDatabase.from_text(RIR.RIPE, database.to_text())
+        assert len(reloaded.inetnums) == len(database.inetnums)
+        originals = sorted(
+            (r.range.first, r.range.last, r.maintainers)
+            for r in database.inetnums
+        )
+        reparsed = sorted(
+            (r.range.first, r.range.last, r.maintainers)
+            for r in reloaded.inetnums
+        )
+        assert reparsed == originals
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["descr", "remarks", "country", "netname"]),
+                st.text(
+                    alphabet=string.ascii_letters + string.digits + " .-",
+                    min_size=1,
+                    max_size=40,
+                ).filter(lambda s: s.strip() and s.strip() == s),
+            ),
+            max_size=10,
+        )
+    )
+    def test_rpsl_object_round_trip(self, attributes):
+        obj = RpslObject()
+        obj.add("inetnum", "10.0.0.0 - 10.0.0.255")
+        for name, value in attributes:
+            obj.add(name, value)
+        reparsed = list(parse_rpsl(serialize_objects([obj])))
+        assert len(reparsed) == 1
+        # Values with internal runs of spaces collapse on continuation
+        # joins; single-space text must round-trip exactly.
+        expected = [(n, " ".join(v.split())) for n, v in obj.attributes]
+        got = [(n, " ".join(v.split())) for n, v in reparsed[0].attributes]
+        assert got == expected

@@ -1,0 +1,140 @@
+"""Property-based tests for the inference pipeline on random registries.
+
+Hypothesis generates small random worlds (holders, sub-allocations,
+announcements, relationships) and checks the §5.2 decision procedure's
+invariants independently of the classifier implementation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asdata import ASRelationships
+from repro.bgp import P2C, RoutingTable
+from repro.core import Category, LeaseInferencePipeline
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisDatabase,
+)
+
+HOLDER_ASN = 1000
+TRANSIT_ASN = 3356
+
+
+@st.composite
+def random_registry(draw):
+    """One holder /16 with random sub-allocations and announcements.
+
+    Returns (database, routing_table, relationships, expectations) where
+    expectations maps each leaf prefix to booleans describing what was
+    generated: (leaf announced, root announced, origin related).
+    """
+    database = WhoisDatabase(RIR.RIPE)
+    database.add(OrgRecord(rir=RIR.RIPE, org_id="ORG-H", name="Holder"))
+    database.add(AutNumRecord(rir=RIR.RIPE, asn=HOLDER_ASN, org_id="ORG-H"))
+    root = Prefix.parse("10.0.0.0/16")
+    database.add(
+        InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.from_prefix(root),
+            status="ALLOCATED PA",
+            org_id="ORG-H",
+            maintainers=("H-MNT",),
+        )
+    )
+    table = RoutingTable()
+    relationships = ASRelationships()
+    relationships.add(TRANSIT_ASN, HOLDER_ASN, P2C)
+
+    root_announced = draw(st.booleans())
+    if root_announced:
+        table.add_route(root, HOLDER_ASN)
+
+    leaf_count = draw(st.integers(min_value=1, max_value=12))
+    expectations = {}
+    next_asn = 2000
+    for index in range(leaf_count):
+        leaf = root.nth_subnet(24, index)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE,
+                range=AddressRange.from_prefix(leaf),
+                status="ASSIGNED PA",
+                maintainers=(f"M{index}-MNT",),
+            )
+        )
+        announced = draw(st.booleans())
+        related = draw(st.booleans())
+        if announced:
+            origin = next_asn
+            next_asn += 1
+            if related:
+                relationships.add(HOLDER_ASN, origin, P2C)
+            else:
+                relationships.add(TRANSIT_ASN, origin, P2C)
+            table.add_route(leaf, origin)
+        expectations[leaf] = (announced, root_announced, related)
+    return database, table, relationships, expectations
+
+
+class TestPipelineInvariants:
+    @given(random_registry())
+    @settings(max_examples=60, deadline=None)
+    def test_decision_table_holds(self, world):
+        database, table, relationships, expectations = world
+        result = LeaseInferencePipeline(database, table, relationships).run()
+
+        # Every generated leaf is classified exactly once.
+        assert result.total_classified() == len(expectations)
+
+        for leaf, (announced, root_announced, related) in expectations.items():
+            verdict = result.lookup(leaf)
+            assert verdict is not None
+            if not announced and not root_announced:
+                assert verdict.category is Category.UNUSED
+            elif not announced:
+                assert verdict.category is Category.AGGREGATED_CUSTOMER
+            elif not root_announced:
+                expected = (
+                    Category.ISP_CUSTOMER if related else Category.LEASED_GROUP3
+                )
+                assert verdict.category is expected
+            else:
+                expected = (
+                    Category.DELEGATED_CUSTOMER
+                    if related
+                    else Category.LEASED_GROUP4
+                )
+                assert verdict.category is expected
+
+    @given(random_registry())
+    @settings(max_examples=30, deadline=None)
+    def test_group_consistency(self, world):
+        database, table, relationships, _expectations = world
+        result = LeaseInferencePipeline(database, table, relationships).run()
+        for verdict in result:
+            # Group number is consistent with the origin evidence.
+            has_leaf = bool(verdict.leaf_origins)
+            has_root = bool(verdict.root_origins)
+            assert verdict.category.group == {
+                (False, False): 1,
+                (False, True): 2,
+                (True, False): 3,
+                (True, True): 4,
+            }[(has_leaf, has_root)]
+            # Leased verdicts always have a leaf origin.
+            if verdict.is_leased:
+                assert has_leaf
+
+    @given(random_registry())
+    @settings(max_examples=30, deadline=None)
+    def test_tally_matches_verdicts(self, world):
+        database, table, relationships, _expectations = world
+        result = LeaseInferencePipeline(database, table, relationships).run()
+        tally = result.tally(RIR.RIPE)
+        for category in Category:
+            assert tally.counts[category] == len(result.in_category(category))
+        assert tally.leased == len(result.leased())

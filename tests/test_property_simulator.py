@@ -1,0 +1,146 @@
+"""Property-based tests for Gao-Rexford propagation and update replay."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp import (
+    AnnounceUpdate,
+    ASPath,
+    ASTopology,
+    RouteKind,
+    UpdateStream,
+    WithdrawUpdate,
+    propagate,
+)
+from repro.net import Prefix
+
+
+@st.composite
+def random_topology(draw):
+    """A connected hierarchy: tier-1 clique + random transit tree + peers."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    tier1_count = rng.randint(2, 4)
+    node_count = rng.randint(tier1_count + 2, 40)
+    topology = ASTopology()
+    tier1 = list(range(1, tier1_count + 1))
+    for index, left in enumerate(tier1):
+        for right in tier1[index + 1 :]:
+            topology.add_p2p(left, right)
+    for asn in range(tier1_count + 1, node_count + 1):
+        provider = rng.randint(1, asn - 1)
+        topology.add_p2c(provider, asn)
+    # A few lateral peerings between non-tier1 nodes.
+    for _index in range(rng.randint(0, node_count // 4)):
+        left = rng.randint(tier1_count + 1, node_count)
+        right = rng.randint(tier1_count + 1, node_count)
+        if left != right and right not in topology.providers(left):
+            if left not in topology.providers(right):
+                topology.add_p2p(left, right)
+    return topology
+
+
+def _link_kind(topology, frm, to):
+    """The relationship of `frm` -> `to` from frm's perspective."""
+    if to in topology.customers(frm):
+        return "to-customer"
+    if to in topology.providers(frm):
+        return "to-provider"
+    if to in topology.peers(frm):
+        return "to-peer"
+    return None
+
+
+class TestValleyFreedom:
+    @given(random_topology())
+    @settings(max_examples=40, deadline=None)
+    def test_routes_are_valley_free(self, topology):
+        origin = max(topology.asns())
+        routes = propagate(topology, origin)
+        for asn, route in routes.items():
+            path = route.path
+            assert path[0] == asn and path[-1] == origin
+            # Walk the path in announcement direction (origin -> asn):
+            # once a route crosses a peer or goes provider->customer, it
+            # may never go customer->provider or cross another peer.
+            # hops[i]: the link over which path[i+1] exported to path[i];
+            # announcement order is therefore reversed(hops).
+            hops = [
+                _link_kind(topology, path[i + 1], path[i])
+                for i in range(len(path) - 1)
+            ]
+            assert all(hop is not None for hop in hops)  # real links only
+            descended = False
+            for hop in reversed(hops):
+                if descended:
+                    assert hop == "to-customer"
+                if hop in ("to-peer", "to-customer"):
+                    descended = True
+
+    @given(random_topology())
+    @settings(max_examples=40, deadline=None)
+    def test_every_connected_as_hears_the_route(self, topology):
+        origin = max(topology.asns())
+        routes = propagate(topology, origin)
+        assert set(routes) == set(topology.asns())
+
+    @given(random_topology())
+    @settings(max_examples=40, deadline=None)
+    def test_no_loops_and_kind_consistency(self, topology):
+        origin = min(topology.asns())
+        routes = propagate(topology, origin)
+        for asn, route in routes.items():
+            assert len(set(route.path)) == len(route.path)  # loop-free
+            if asn == origin:
+                assert route.kind is RouteKind.ORIGIN
+            else:
+                neighbor = route.path[1]
+                expected = {
+                    "to-customer": RouteKind.CUSTOMER,
+                    "to-peer": RouteKind.PEER,
+                    "to-provider": RouteKind.PROVIDER,
+                }[_link_kind(topology, asn, neighbor)]
+                assert route.kind is expected
+
+
+updates_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=50),  # timestamp
+        st.booleans(),  # announce?
+        st.integers(min_value=1, max_value=4),  # origin AS
+    ),
+    max_size=30,
+)
+
+
+class TestUpdateReplayModel:
+    @given(updates_strategy, st.integers(min_value=0, max_value=55))
+    @settings(max_examples=100)
+    def test_table_at_matches_naive_model(self, events, probe_time):
+        prefix = Prefix.parse("10.0.0.0/24")
+        updates = []
+        for timestamp, is_announce, origin in events:
+            if is_announce:
+                updates.append(
+                    AnnounceUpdate(
+                        timestamp, prefix, ASPath.of(9, origin), 9, "p"
+                    )
+                )
+            else:
+                updates.append(WithdrawUpdate(timestamp, prefix, 9, "p"))
+        stream = UpdateStream(updates)
+
+        # Naive model: replay sorted events; last announce wins, withdraw
+        # clears (single peer).
+        state = None
+        for update in stream:
+            if update.timestamp > probe_time:
+                break
+            if isinstance(update, AnnounceUpdate):
+                state = update.origin
+            else:
+                state = None
+        table = stream.table_at(probe_time)
+        expected = frozenset({state} if state is not None else set())
+        assert table.exact_origins(prefix) == expected

@@ -1,0 +1,202 @@
+"""Tests for the reporting layer (tables and the ASCII figure)."""
+
+import pytest
+
+from repro.core import (
+    BgpOriginHistory,
+    Category,
+    ConfusionMatrix,
+    InferenceResult,
+    LeafInference,
+    build_timeline,
+)
+from repro.core.abuse import DropCorrelation, RoaAbuseStats
+from repro.core.ecosystem import HijackerOverlap
+from repro.net import AddressRange, Prefix
+from repro.reporting import (
+    render_drop_stats,
+    render_hijacker_stats,
+    render_roa_stats,
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_timeline,
+)
+from repro.rir import RIR
+from repro.rpki import AS0, ROA, RoaSet, RpkiArchive
+from repro.whois import InetnumRecord
+
+
+def make_inference(prefix: str, category: Category) -> LeafInference:
+    return LeafInference(
+        rir=RIR.RIPE,
+        prefix=Prefix.parse(prefix),
+        category=category,
+        record=InetnumRecord(
+            rir=RIR.RIPE,
+            range=AddressRange.parse(prefix),
+            status="ASSIGNED PA",
+        ),
+        root_prefix=None,
+        root_record=None,
+        leaf_origins=frozenset({15169}),
+        root_origins=frozenset(),
+        root_assigned_asns=frozenset(),
+    )
+
+
+class TestGenericTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "n"], [["alpha", 12345], ["b", 7]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert "12,345" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [["y"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_float_formatting(self):
+        assert "0.33" in render_table(["v"], [[1 / 3]])
+
+
+class TestPaperTables:
+    def test_table1_totals(self):
+        result = InferenceResult()
+        result.add(make_inference("10.0.0.0/24", Category.LEASED_GROUP3))
+        result.add(make_inference("10.0.1.0/24", Category.UNUSED))
+        text = render_table1(result, total_bgp_prefixes=100)
+        assert "Table 1" in text
+        assert "1/2" in text  # RIPE leased/total
+        assert "1 leased = 1.0% of 100" in text
+
+    def test_table2_metrics_present(self):
+        text = render_table2(ConfusionMatrix(tp=9, fn=1, fp=1, tn=9))
+        assert "Recall 0.90" in text
+        assert "Precision 0.90" in text
+        assert "Accuracy 0.90" in text
+
+    def test_table3_region_grouping(self):
+        text = render_table3(
+            {RIR.RIPE: [("Resilans AB", 1106), ("Cyber Assets FZCO", 941)]}
+        )
+        lines = text.splitlines()
+        assert any("Resilans" in line and "RIPE" in line for line in lines)
+        # Second row of the same region leaves the RIR column blank.
+        cyber = next(line for line in lines if "Cyber" in line)
+        assert cyber.split("|")[0].strip() == ""
+
+    def test_stat_renderers(self):
+        hij = render_hijacker_stats(
+            HijackerOverlap(100, 3, 1000, 130, 10000, 310)
+        )
+        assert "3.0%" in hij and "13.0%" in hij
+        drop = render_drop_stats(DropCorrelation(1000, 11, 10000, 20))
+        assert "5.5x" in drop
+        roa = render_roa_stats(
+            RoaAbuseStats(100, 60, 50, 1), RoaAbuseStats(100, 50, 50, 0)
+        )
+        assert "2.0%" in roa and "0.0%" in roa
+
+
+class TestTimelineFigure:
+    @pytest.fixture
+    def timeline(self):
+        prefix = Prefix.parse("203.0.113.0/24")
+        archive = RpkiArchive()
+        archive.add_snapshot(0, RoaSet([ROA(prefix=prefix, asn=100)]))
+        archive.add_snapshot(50, RoaSet([ROA(prefix=prefix, asn=AS0)]))
+        archive.add_snapshot(100, RoaSet([ROA(prefix=prefix, asn=200)]))
+        bgp = BgpOriginHistory()
+        bgp.add_observation(0, {100})
+        bgp.add_observation(50, set())
+        bgp.add_observation(100, {200})
+        return build_timeline(prefix, bgp, archive)
+
+    def test_renders_all_rows(self, timeline):
+        text = render_timeline(timeline)
+        assert "AS100" in text and "AS200" in text and "AS0" in text
+
+    def test_marks(self, timeline):
+        text = render_timeline(timeline)
+        assert "#" in text  # RPKI+BGP overlap during leases
+        assert "r" in text  # the AS0 row is RPKI-only
+
+    def test_empty_timeline(self):
+        from repro.core import PrefixTimeline
+
+        text = render_timeline(
+            PrefixTimeline(Prefix.parse("192.0.2.0/24"), [])
+        )
+        assert "no history" in text
+
+
+class TestExportFormats:
+    def test_csv(self):
+        from repro.reporting import to_csv
+
+        text = to_csv(["name", "n"], [["alpha, beta", 3], ["x", 0.5]])
+        lines = text.splitlines()
+        assert lines[0] == "name,n"
+        assert lines[1] == '"alpha, beta",3'
+        assert lines[2] == "x,0.5"
+
+    def test_markdown(self):
+        from repro.reporting import to_markdown
+
+        text = to_markdown(["name", "n"], [["alpha", 12345]])
+        lines = text.splitlines()
+        assert lines[0] == "| name | n |"
+        assert "---" in lines[1]
+        assert lines[2] == "| alpha | 12,345 |"
+
+    def test_markdown_floats(self):
+        from repro.reporting import to_markdown
+
+        assert "| 0.33 |" in to_markdown(["v"], [[1 / 3]])
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report_text(self):
+        from repro.core import infer_leases
+        from repro.reporting import build_full_report
+        from repro.simulation import build_world, small_world
+
+        world = build_world(small_world())
+        result = infer_leases(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+        return build_full_report(world, result)
+
+    def test_all_sections_present(self, report_text):
+        for marker in (
+            "## Table 1",
+            "## Table 2",
+            "## Table 3",
+            "## §6.3",
+            "## §6.4",
+            "## Fig. 3",
+        ):
+            assert marker in report_text
+
+    def test_is_valid_markdown_tableish(self, report_text):
+        assert report_text.count("| --- |") >= 3
+        assert "```" in report_text  # the timeline code block
+
+    def test_mentions_paper_baselines(self, report_text):
+        assert "paper: 4.1%" in report_text
+        assert "paper: ≈5×" in report_text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--small", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "## Table 1" in out.read_text()

@@ -1,0 +1,85 @@
+"""Unit tests for the RIR enum and per-registry status vocabularies."""
+
+import pytest
+
+from repro.rir import ALL_RIRS, RIR
+from repro.whois import Portability, classify_status
+
+
+class TestRIR:
+    def test_table_order(self):
+        assert [r.name for r in ALL_RIRS] == [
+            "RIPE",
+            "ARIN",
+            "APNIC",
+            "AFRINIC",
+            "LACNIC",
+        ]
+
+    def test_parse_case_insensitive(self):
+        assert RIR.parse("ripe") is RIR.RIPE
+        assert RIR.parse(" Arin ") is RIR.ARIN
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            RIR.parse("jpnic")
+
+    def test_whois_source(self):
+        assert RIR.RIPE.whois_source == "RIPE"
+        assert RIR.AFRINIC.display_name == "AFRINIC"
+
+
+class TestStatusVocabularies:
+    @pytest.mark.parametrize(
+        "rir,status,expected",
+        [
+            # RIPE / AFRINIC (shared RPSL style).
+            (RIR.RIPE, "ALLOCATED PA", Portability.PORTABLE),
+            (RIR.RIPE, "ASSIGNED PI", Portability.PORTABLE),
+            (RIR.RIPE, "ASSIGNED ANYCAST", Portability.PORTABLE),
+            (RIR.RIPE, "SUB-ALLOCATED PA", Portability.NON_PORTABLE),
+            (RIR.RIPE, "ASSIGNED PA", Portability.NON_PORTABLE),
+            (RIR.RIPE, "LIR-PARTITIONED PA", Portability.NON_PORTABLE),
+            (RIR.RIPE, "LEGACY", Portability.LEGACY),
+            (RIR.AFRINIC, "ALLOCATED PA", Portability.PORTABLE),
+            (RIR.AFRINIC, "SUB-ALLOCATED PA", Portability.NON_PORTABLE),
+            # APNIC.
+            (RIR.APNIC, "ALLOCATED PORTABLE", Portability.PORTABLE),
+            (RIR.APNIC, "ASSIGNED PORTABLE", Portability.PORTABLE),
+            (RIR.APNIC, "ALLOCATED NON-PORTABLE", Portability.NON_PORTABLE),
+            (RIR.APNIC, "ASSIGNED NON-PORTABLE", Portability.NON_PORTABLE),
+            # ARIN NetType values.
+            (RIR.ARIN, "Direct Allocation", Portability.PORTABLE),
+            (RIR.ARIN, "Direct Assignment", Portability.PORTABLE),
+            (RIR.ARIN, "Allocation", Portability.PORTABLE),
+            (RIR.ARIN, "Reallocation", Portability.NON_PORTABLE),
+            (RIR.ARIN, "Reassignment", Portability.NON_PORTABLE),
+            # LACNIC.
+            (RIR.LACNIC, "allocated", Portability.PORTABLE),
+            (RIR.LACNIC, "assigned", Portability.PORTABLE),
+            (RIR.LACNIC, "reallocated", Portability.NON_PORTABLE),
+            (RIR.LACNIC, "reassigned", Portability.NON_PORTABLE),
+        ],
+    )
+    def test_classification(self, rir, status, expected):
+        assert classify_status(rir, status) is expected
+
+    def test_case_and_whitespace_insensitive(self):
+        assert (
+            classify_status(RIR.RIPE, "  assigned pa ")
+            is Portability.NON_PORTABLE
+        )
+
+    def test_unknown_status(self):
+        assert classify_status(RIR.RIPE, "WEIRD") is Portability.UNKNOWN
+        assert classify_status(RIR.ARIN, "") is Portability.UNKNOWN
+
+    def test_same_string_differs_across_rirs(self):
+        # "ASSIGNED PA" means non-portable in RIPE; APNIC never uses it.
+        assert (
+            classify_status(RIR.RIPE, "ASSIGNED PA")
+            is Portability.NON_PORTABLE
+        )
+        assert (
+            classify_status(RIR.APNIC, "ASSIGNED PA") is Portability.UNKNOWN
+        )

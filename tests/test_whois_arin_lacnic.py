@@ -1,0 +1,204 @@
+"""Unit tests for the ARIN and LACNIC bulk-WHOIS formats."""
+
+from repro.net import AddressRange
+from repro.rir import RIR
+from repro.whois import AutNumRecord, InetnumRecord, OrgRecord, Portability
+from repro.whois.arin import (
+    asn_to_arin,
+    net_to_arin,
+    normalize_arin_object,
+    org_to_arin,
+    parse_arin,
+    serialize_arin,
+)
+from repro.whois.lacnic import (
+    autnum_to_lacnic,
+    inetnum_to_lacnic,
+    normalize_lacnic_object,
+    parse_lacnic,
+    synthesize_owner_orgs,
+)
+
+ARIN_SAMPLE = """\
+OrgID:          EGIH
+OrgName:        EGIHosting
+Country:        US
+
+ASHandle:       AS18779
+ASNumber:       18779
+ASName:         EGIHOSTING
+OrgID:          EGIH
+
+NetHandle:      NET-208-76-0-0-1
+NetRange:       208.76.0.0 - 208.76.255.255
+NetType:        Direct Allocation
+NetName:        EGIH-NET
+OrgID:          EGIH
+
+NetHandle:      NET-208-76-4-0-1
+NetRange:       208.76.4.0 - 208.76.4.255
+NetType:        Reassignment
+NetName:        CUSTOMER-1
+OrgID:          CUST-1
+Parent:         NET-208-76-0-0-1
+"""
+
+LACNIC_SAMPLE = """\
+inetnum:        200.160.0.0/16
+status:         allocated
+owner:          Radiografica Costarricense
+ownerid:        CR-RACO-LACNIC
+country:        CR
+
+inetnum:        200.160.4.0/24
+status:         reassigned
+owner:          Cliente Uno
+ownerid:        CR-CLUN-LACNIC
+country:        CR
+
+aut-num:        AS52263
+owner:          Radiografica Costarricense
+ownerid:        CR-RACO-LACNIC
+"""
+
+
+class TestArinParsing:
+    def test_normalizes_all_classes(self):
+        records = [
+            normalize_arin_object(obj) for obj in parse_arin(ARIN_SAMPLE)
+        ]
+        assert isinstance(records[0], OrgRecord)
+        assert isinstance(records[1], AutNumRecord)
+        assert isinstance(records[2], InetnumRecord)
+
+    def test_org(self):
+        org = normalize_arin_object(next(parse_arin(ARIN_SAMPLE)))
+        assert org.org_id == "EGIH"
+        assert org.name == "EGIHosting"
+        assert org.maintainers == ("EGIH",)
+
+    def test_asn(self):
+        records = [
+            normalize_arin_object(obj) for obj in parse_arin(ARIN_SAMPLE)
+        ]
+        autnum = records[1]
+        assert autnum.asn == 18779
+        assert autnum.org_id == "EGIH"
+        assert autnum.rir is RIR.ARIN
+
+    def test_direct_allocation_portable(self):
+        records = [
+            normalize_arin_object(obj) for obj in parse_arin(ARIN_SAMPLE)
+        ]
+        assert records[2].portability is Portability.PORTABLE
+
+    def test_reassignment_non_portable(self):
+        records = [
+            normalize_arin_object(obj) for obj in parse_arin(ARIN_SAMPLE)
+        ]
+        leaf = records[3]
+        assert leaf.portability is Portability.NON_PORTABLE
+        assert leaf.parent_handle == "NET-208-76-0-0-1"
+
+    def test_net_without_range_skipped(self):
+        obj = next(parse_arin("NetHandle: NET-X\nNetType: allocation\n"))
+        assert normalize_arin_object(obj) is None
+
+    def test_unknown_class_skipped(self):
+        obj = next(parse_arin("POC: X-ARIN\n"))
+        assert normalize_arin_object(obj) is None
+
+
+class TestArinRoundTrip:
+    def test_full_round_trip(self):
+        originals = [
+            normalize_arin_object(obj) for obj in parse_arin(ARIN_SAMPLE)
+        ]
+        blocks = [
+            org_to_arin(originals[0]),
+            asn_to_arin(originals[1]),
+            net_to_arin(originals[2]),
+            net_to_arin(originals[3]),
+        ]
+        reparsed = [
+            normalize_arin_object(obj)
+            for obj in parse_arin(serialize_arin(blocks))
+        ]
+        assert reparsed[1].asn == originals[1].asn
+        assert reparsed[2].range == originals[2].range
+        assert reparsed[3].parent_handle == originals[3].parent_handle
+
+    def test_synthetic_handle(self):
+        record = InetnumRecord(
+            rir=RIR.ARIN,
+            range=AddressRange.parse("192.0.2.0/24"),
+            status="Reassignment",
+            org_id="X",
+        )
+        obj = net_to_arin(record)
+        assert obj.primary_key == "NET-192-0-2-0-1"
+
+
+class TestLacnicParsing:
+    def test_inetnum_cidr_key(self):
+        record = normalize_lacnic_object(next(parse_lacnic(LACNIC_SAMPLE)))
+        assert record.range == AddressRange.parse("200.160.0.0/16")
+        assert record.org_id == "CR-RACO-LACNIC"
+        assert record.maintainers == ("CR-RACO-LACNIC",)
+
+    def test_statuses(self):
+        records = [
+            normalize_lacnic_object(obj) for obj in parse_lacnic(LACNIC_SAMPLE)
+        ]
+        assert records[0].portability is Portability.PORTABLE
+        assert records[1].portability is Portability.NON_PORTABLE
+
+    def test_autnum(self):
+        records = [
+            normalize_lacnic_object(obj) for obj in parse_lacnic(LACNIC_SAMPLE)
+        ]
+        assert records[2].asn == 52263
+        assert records[2].org_id == "CR-RACO-LACNIC"
+
+    def test_owner_org_synthesis(self):
+        orgs = synthesize_owner_orgs(parse_lacnic(LACNIC_SAMPLE))
+        by_id = {org.org_id: org for org in orgs}
+        assert set(by_id) == {"CR-RACO-LACNIC", "CR-CLUN-LACNIC"}
+        assert by_id["CR-RACO-LACNIC"].name == "Radiografica Costarricense"
+
+    def test_owner_org_first_seen_wins(self):
+        text = (
+            "inetnum: 10.0.0.0/24\nowner: First Name\nownerid: X\n\n"
+            "inetnum: 10.0.1.0/24\nowner: Second Name\nownerid: X\n"
+        )
+        orgs = synthesize_owner_orgs(parse_lacnic(text))
+        assert len(orgs) == 1 and orgs[0].name == "First Name"
+
+
+class TestLacnicRoundTrip:
+    def test_inetnum_round_trip(self):
+        record = normalize_lacnic_object(next(parse_lacnic(LACNIC_SAMPLE)))
+        rendered = inetnum_to_lacnic(record, owner_name="Radiografica")
+        reparsed = normalize_lacnic_object(rendered)
+        assert reparsed.range == record.range
+        assert reparsed.status == record.status
+        assert reparsed.org_id == record.org_id
+
+    def test_autnum_round_trip(self):
+        record = AutNumRecord(
+            rir=RIR.LACNIC, asn=64500, org_id="BR-X-LACNIC"
+        )
+        reparsed = normalize_lacnic_object(autnum_to_lacnic(record, "X SA"))
+        assert reparsed.asn == 64500
+        assert reparsed.as_name == "X SA"
+
+    def test_unaligned_range_rendered_as_range(self):
+        record = InetnumRecord(
+            rir=RIR.LACNIC,
+            range=AddressRange.parse("10.0.0.0 - 10.0.2.255"),
+            status="reassigned",
+            org_id="X",
+        )
+        rendered = inetnum_to_lacnic(record)
+        assert "-" in rendered.primary_key
+        assert normalize_lacnic_object(rendered).range == record.range
