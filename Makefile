@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report data clean
+.PHONY: install test lint docs bench report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) scripts/lint.py
+
+docs:
+	PYTHONPATH=src $(PYTHON) -m repro.diagnostics > docs/DIAGNOSTICS.md
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -99,6 +99,10 @@ class RoutingTable:
         """True when the exact prefix appears in the table."""
         return bool(self._trie.exact(prefix))
 
+    def covered_prefixes(self, prefix: Prefix) -> List[Prefix]:
+        """Advertised prefixes at or below *prefix* (exact included)."""
+        return [covered for covered, _origins in self._trie.covered(prefix)]
+
     # -- enumeration ------------------------------------------------------
     def prefixes(self) -> Iterator[Prefix]:
         """All advertised prefixes."""

@@ -8,6 +8,7 @@ Subcommands mirror the paper's workflow::
     repro holders --data data/          # §6.3 -> Table 3
     repro abuse --data data/            # §6.3/§6.4 statistics
     repro timeline                      # Fig. 3 for the featured prefix
+    repro lint --data data/             # diagnostics over every dataset
     repro run-all                       # everything, in memory
 """
 
@@ -116,10 +117,46 @@ def _build_parser() -> argparse.ArgumentParser:
         ("abuse", "print the hijacker/DROP/ROA statistics"),
         ("legacy", "run the legacy-space lease inference extension"),
         ("rpki", "print RPKI validation profiles for leased vs other"),
-        ("lint", "run structural checks over the WHOIS databases"),
     ):
         command = sub.add_parser(name, help=helptext)
         command.add_argument("--data", type=Path, required=True)
+        if name == "infer":
+            command.add_argument(
+                "--strict",
+                action="store_true",
+                help="run diagnostics first and abort on errors",
+            )
+
+    lint = sub.add_parser(
+        "lint", help="run the diagnostics rules over every dataset"
+    )
+    lint.add_argument("--data", type=Path, required=True)
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="error",
+        help="exit non-zero at/above this severity (default error)",
+    )
+    lint.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="disable a rule code (repeatable)",
+    )
+    lint.add_argument(
+        "--severity",
+        action="append",
+        default=[],
+        metavar="CODE=LEVEL",
+        help="override a rule's severity, e.g. W105=error (repeatable)",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="print the Fig. 3 lease timeline"
@@ -136,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "run-all", help="generate in memory and print every table"
     )
     add_scenario_options(run_all)
+    run_all.add_argument(
+        "--strict",
+        action="store_true",
+        help="run diagnostics first and abort on errors",
+    )
 
     report = sub.add_parser(
         "report", help="write the full Markdown reproduction report"
@@ -190,6 +232,11 @@ def _infer_bundle(bundle: DatasetBundle):
 
 def _cmd_infer(args: argparse.Namespace) -> int:
     bundle = load_datasets(args.data)
+    if getattr(args, "strict", False):
+        from .diagnostics import DiagnosticContext
+
+        if _strict_gate(DiagnosticContext.from_bundle(bundle)):
+            return 1
     result = _infer_bundle(bundle)
     print(render_table1(result, bundle.routing_table.num_prefixes()))
     return 0
@@ -278,24 +325,55 @@ def _cmd_rpki(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from .whois.lint import LintLevel, lint_database
+    from .diagnostics import (
+        DiagnosticContext,
+        DiagnosticsConfig,
+        DiagnosticsEngine,
+        Severity,
+    )
+    from .reporting import render_diagnostics_text
 
-    bundle = load_datasets(args.data)
-    total_errors = 0
-    for database in bundle.whois:
-        issues = lint_database(database)
-        if not issues:
-            continue
-        print(f"{database.rir.name}: {len(issues)} issue(s)")
-        for issue in issues:
-            print(f"  {issue}")
-        total_errors += sum(
-            1 for issue in issues if issue.level is LintLevel.ERROR
+    overrides = {}
+    for spec in args.severity:
+        code, _, level = spec.partition("=")
+        if not code or not level:
+            print(f"bad --severity {spec!r}; expected CODE=LEVEL")
+            return 2
+        overrides[code] = level
+    try:
+        config = DiagnosticsConfig.build(
+            suppress=args.suppress, severity_overrides=overrides
         )
-    if total_errors:
-        print(f"{total_errors} error(s)")
+    except ValueError as error:
+        print(f"bad --severity value: {error}")
+        return 2
+    bundle = load_datasets(args.data)
+    engine = DiagnosticsEngine(config=config)
+    report = engine.run(DiagnosticContext.from_bundle(bundle))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(render_diagnostics_text(report))
+    fail_on = (
+        None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+    return report.exit_code(fail_on)
+
+
+def _strict_gate(context) -> int:
+    """Run diagnostics before an inference command; 1 on any error."""
+    from .diagnostics import DiagnosticsEngine
+    from .reporting import render_diagnostics_summary
+
+    report = DiagnosticsEngine().run(context)
+    errors = report.errors()
+    for finding in errors:
+        print(finding)
+    print(render_diagnostics_summary(report))
+    if errors:
+        print("aborting: dataset diagnostics reported errors "
+              "(re-run without --strict to ignore)")
         return 1
-    print("no errors")
     return 0
 
 
@@ -368,6 +446,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
     world = build_world(_scenario(args))
+    if getattr(args, "strict", False):
+        from .diagnostics import DiagnosticContext
+
+        if _strict_gate(DiagnosticContext.from_world(world)):
+            return 1
     result = infer_leases(
         world.whois, world.routing_table, world.relationships, world.as2org
     )

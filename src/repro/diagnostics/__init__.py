@@ -1,0 +1,47 @@
+"""Pluggable static-analysis diagnostics over the §4 datasets.
+
+The correctness-tooling layer of the pipeline: a registry of small
+rules (stable codes ``W101``/``B203``/...) executed by an engine over
+whatever datasets are loaded — WHOIS, the merged RIB, the VRP set, AS
+metadata, the assembled allocation tree — plus cross-dataset
+consistency rules.  ``repro lint`` is the CLI front end;
+``repro infer --strict`` gates inference on a clean error budget.
+
+Typical use::
+
+    from repro.diagnostics import DiagnosticContext, DiagnosticsEngine
+
+    report = DiagnosticsEngine().run(DiagnosticContext.from_world(world))
+    assert not report.errors()
+"""
+
+from .catalog import render_rule_catalog
+from .config import DiagnosticsConfig
+from .context import DiagnosticContext
+from .engine import DiagnosticsEngine, DiagnosticsReport
+from .model import (
+    Dataset,
+    Diagnostic,
+    Rule,
+    Severity,
+    all_rules,
+    register_rule,
+    rule_for_code,
+    rules_for_dataset,
+)
+
+__all__ = [
+    "Dataset",
+    "Diagnostic",
+    "DiagnosticContext",
+    "DiagnosticsConfig",
+    "DiagnosticsEngine",
+    "DiagnosticsReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "register_rule",
+    "render_rule_catalog",
+    "rule_for_code",
+    "rules_for_dataset",
+]

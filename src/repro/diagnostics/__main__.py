@@ -1,0 +1,6 @@
+"""``python -m repro.diagnostics``: print the generated rule catalogue."""
+
+from .catalog import render_rule_catalog
+
+if __name__ == "__main__":
+    print(render_rule_catalog(), end="")

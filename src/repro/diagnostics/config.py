@@ -1,0 +1,88 @@
+"""Per-run diagnostics policy: rule selection, suppression, overrides.
+
+Mirrors how mature linters are configured: a run can *select* a subset
+of rule codes, *suppress* codes entirely, and *override* the severity
+of individual codes (e.g. promote ``W105`` duplicate ranges to an error
+for a registry-QA gate).  The config is a plain value object; it can be
+built programmatically, from a mapping, or from a JSON document::
+
+    {
+        "select": ["W101", "B202"],
+        "suppress": ["R301"],
+        "severity": {"W105": "error"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Mapping, Optional
+
+from .model import Severity
+
+__all__ = ["DiagnosticsConfig"]
+
+
+def _normalize_codes(codes: Optional[Iterable[str]]) -> FrozenSet[str]:
+    return frozenset(code.strip().upper() for code in codes or () if code)
+
+
+@dataclass(frozen=True)
+class DiagnosticsConfig:
+    """Immutable policy applied by the engine to every run."""
+
+    #: When non-empty, only these codes run.
+    select: FrozenSet[str] = frozenset()
+    #: These codes never run (wins over ``select``).
+    suppress: FrozenSet[str] = frozenset()
+    #: Per-code severity overrides.
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        select: Optional[Iterable[str]] = None,
+        suppress: Optional[Iterable[str]] = None,
+        severity_overrides: Optional[Mapping[str, str]] = None,
+    ) -> "DiagnosticsConfig":
+        """Build from loosely typed inputs (CLI flags, parsed JSON)."""
+        overrides = {
+            code.strip().upper(): Severity.parse(level)
+            for code, level in (severity_overrides or {}).items()
+        }
+        return cls(
+            select=_normalize_codes(select),
+            suppress=_normalize_codes(suppress),
+            severity_overrides=overrides,
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping) -> "DiagnosticsConfig":
+        """Build from a ``{"select": [...], "suppress": [...], ...}`` dict."""
+        unknown = set(mapping) - {"select", "suppress", "severity"}
+        if unknown:
+            raise ValueError(
+                f"unknown diagnostics config keys: {sorted(unknown)}"
+            )
+        return cls.build(
+            select=mapping.get("select"),
+            suppress=mapping.get("suppress"),
+            severity_overrides=mapping.get("severity"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiagnosticsConfig":
+        """Build from a JSON document."""
+        return cls.from_mapping(json.loads(text))
+
+    # -- queries -----------------------------------------------------------
+    def is_enabled(self, code: str) -> bool:
+        """True when *code* should run under this policy."""
+        if code in self.suppress:
+            return False
+        return not self.select or code in self.select
+
+    def severity_for(self, code: str, default: Severity) -> Severity:
+        """The effective severity of *code* (override or *default*)."""
+        return self.severity_overrides.get(code, default)

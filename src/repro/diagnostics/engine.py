@@ -1,0 +1,113 @@
+"""Running rule sets and aggregating their findings.
+
+:class:`DiagnosticsEngine` instantiates every enabled rule with its
+effective severity and executes it over one :class:`~repro.diagnostics.
+context.DiagnosticContext`; the outcome is a :class:`DiagnosticsReport`
+that callers interrogate for gating (``has_at_least``/``exit_code``),
+render as text, or serialize to machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Type
+
+from .config import DiagnosticsConfig
+from .context import DiagnosticContext
+from .model import Diagnostic, Rule, Severity, all_rules
+
+__all__ = ["DiagnosticsEngine", "DiagnosticsReport"]
+
+
+@dataclass
+class DiagnosticsReport:
+    """Outcome of one engine run."""
+
+    findings: List[Diagnostic] = field(default_factory=list)
+    #: Codes of the rules that executed (whether or not they fired).
+    rules_run: List[str] = field(default_factory=list)
+
+    # -- queries -----------------------------------------------------------
+    def errors(self) -> List[Diagnostic]:
+        """Findings at ERROR severity."""
+        return self.at_severity(Severity.ERROR)
+
+    def warnings(self) -> List[Diagnostic]:
+        """Findings at WARNING severity."""
+        return self.at_severity(Severity.WARNING)
+
+    def at_severity(self, severity: Severity) -> List[Diagnostic]:
+        """Findings at exactly *severity*."""
+        return [f for f in self.findings if f.severity is severity]
+
+    def has_at_least(self, severity: Severity) -> bool:
+        """True when any finding is at or above *severity*."""
+        return any(f.severity.at_least(severity) for f in self.findings)
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        """``{"error": n, "warning": m, "info": k}`` (zeroes included)."""
+        counts = {severity.value: 0 for severity in Severity}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    def counts_by_code(self) -> Dict[str, int]:
+        """Findings per rule code, code-sorted."""
+        counts: Dict[str, int] = {}
+        for finding in sorted(self.findings, key=lambda f: f.code):
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return counts
+
+    def exit_code(self, fail_on: Optional[Severity]) -> int:
+        """Process exit code under a ``--fail-on`` gate (None = never)."""
+        if fail_on is not None and self.has_at_least(fail_on):
+            return 1
+        return 0
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-ready representation."""
+        return {
+            "rules_run": list(self.rules_run),
+            "counts": self.counts_by_severity(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class DiagnosticsEngine:
+    """Executes a configured rule set over a context."""
+
+    def __init__(
+        self,
+        config: Optional[DiagnosticsConfig] = None,
+        rules: Optional[Iterable[Type[Rule]]] = None,
+    ) -> None:
+        self.config = config or DiagnosticsConfig()
+        self._rule_classes: List[Type[Rule]] = list(
+            rules if rules is not None else all_rules()
+        )
+
+    def enabled_rules(self) -> List[Rule]:
+        """Instantiate the rules this config enables, config applied."""
+        enabled: List[Rule] = []
+        for rule_class in self._rule_classes:
+            if not self.config.is_enabled(rule_class.code):
+                continue
+            severity = self.config.severity_for(
+                rule_class.code, rule_class.default_severity
+            )
+            enabled.append(rule_class(severity=severity))
+        return enabled
+
+    def run(self, context: DiagnosticContext) -> DiagnosticsReport:
+        """Execute every enabled rule; findings come back code-ordered."""
+        report = DiagnosticsReport()
+        for rule in sorted(self.enabled_rules(), key=lambda r: r.code):
+            report.rules_run.append(rule.code)
+            report.findings.extend(rule.check(context))
+        return report

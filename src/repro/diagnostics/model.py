@@ -1,0 +1,233 @@
+"""Core types of the diagnostics engine: severities, findings, rules.
+
+The engine generalizes the original WHOIS linter into a registry of
+small, independent :class:`Rule` objects.  Every rule carries
+
+* a stable **code** (``W101``, ``B203``, ...) that configs, suppressions
+  and documentation refer to,
+* a **dataset** naming the input it audits (WHOIS, BGP, RPKI, the
+  AS-relationship data, the assembled allocation tree, or *cross* for
+  rules that correlate several inputs),
+* a default :class:`Severity` that a :class:`~repro.diagnostics.config.
+  DiagnosticsConfig` may override, and
+* a docstring whose first paragraph is the rationale and whose
+  ``Remediation:`` paragraph tells an operator what to do about a
+  finding — both are rendered verbatim into ``docs/DIAGNOSTICS.md``.
+
+Rules yield :class:`Diagnostic` findings; they never mutate the data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import DiagnosticContext
+
+__all__ = [
+    "Severity",
+    "Dataset",
+    "Diagnostic",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "rule_for_code",
+    "rules_for_dataset",
+]
+
+
+class Severity(enum.Enum):
+    """How serious a finding is.
+
+    ``ERROR`` findings indicate data that will corrupt the inference and
+    should gate a pipeline run; ``WARNING`` findings are suspicious but
+    survivable; ``INFO`` findings are observations (often the leasing
+    signals themselves) surfaced for situational awareness.
+    """
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Numeric ordering: info < warning < error."""
+        return _SEVERITY_RANKS[self]
+
+    def at_least(self, other: "Severity") -> bool:
+        """True when this severity is *other* or worse."""
+        return self.rank >= other.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name case-insensitively."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown severity: {text!r}") from None
+
+
+_SEVERITY_RANKS: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+class Dataset(enum.Enum):
+    """The input a rule audits (``CROSS`` correlates several)."""
+
+    WHOIS = "whois"
+    BGP = "bgp"
+    RPKI = "rpki"
+    ASDATA = "asdata"
+    TREE = "tree"
+    CROSS = "cross"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: what is wrong, where, and what to do about it.
+
+    ``subject`` identifies the offending object (a prefix, an address
+    range, ``AS64512``, an org handle); ``location`` narrows it to a
+    data source (usually the registry name or ``rib``/``vrps``).
+    """
+
+    code: str
+    severity: Severity
+    dataset: Dataset
+    subject: str
+    message: str
+    remediation: str = ""
+    location: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return (
+            f"{self.severity.value}: {self.code}{where} "
+            f"{self.subject}: {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "dataset": self.dataset.value,
+            "location": self.location,
+            "subject": self.subject,
+            "message": self.message,
+            "remediation": self.remediation,
+        }
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    The subclass docstring documents the rule: first paragraph is the
+    rationale, and an optional paragraph starting with ``Remediation:``
+    is the operator guidance (also attached to every finding).
+    """
+
+    code: str = ""
+    title: str = ""
+    dataset: Dataset = Dataset.CROSS
+    default_severity: Severity = Severity.WARNING
+
+    def __init__(self, severity: Optional[Severity] = None) -> None:
+        #: Effective severity for this run (config overrides applied
+        #: by the engine at instantiation time).
+        self.severity = severity or self.default_severity
+
+    def check(self, context: "DiagnosticContext") -> Iterator[Diagnostic]:
+        """Yield findings for *context* (empty iterator when clean)."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        subject: str,
+        message: str,
+        location: str = "",
+    ) -> Diagnostic:
+        """Build one :class:`Diagnostic` stamped with this rule's identity."""
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity,
+            dataset=self.dataset,
+            subject=subject,
+            message=message,
+            remediation=self.remediation(),
+            location=location,
+        )
+
+    @classmethod
+    def rationale(cls) -> str:
+        """The docstring paragraphs before ``Remediation:``."""
+        return _split_docstring(cls)[0]
+
+    @classmethod
+    def remediation(cls) -> str:
+        """The ``Remediation:`` paragraph of the docstring (or empty)."""
+        return _split_docstring(cls)[1]
+
+
+def _split_docstring(rule_class: Type[Rule]) -> List[str]:
+    doc = (rule_class.__doc__ or "").strip()
+    marker = "Remediation:"
+    if marker in doc:
+        rationale, _, remedy = doc.partition(marker)
+        return [_collapse(rationale), _collapse(remedy)]
+    return [_collapse(doc), ""]
+
+
+def _collapse(text: str) -> str:
+    """Normalize docstring whitespace into flowing paragraphs."""
+    paragraphs = [
+        " ".join(chunk.split())
+        for chunk in text.split("\n\n")
+        if chunk.strip()
+    ]
+    return "\n\n".join(paragraphs)
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the global registry.
+
+    Codes must be unique and follow ``<letter><3 digits>``; the letter
+    groups rules per dataset (W/B/R/A/T/X) and stays stable forever —
+    retired codes are never reused.
+    """
+    code = rule_class.code
+    if not code or len(code) != 4 or not code[1:].isdigit():
+        raise ValueError(f"malformed rule code: {code!r}")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule code: {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, ordered by code."""
+    from . import rules as _rules  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_for_code(code: str) -> Optional[Type[Rule]]:
+    """The rule class registered under *code*, or None."""
+    from . import rules as _rules  # noqa: F401
+
+    return _REGISTRY.get(code.strip().upper())
+
+
+def rules_for_dataset(dataset: Dataset) -> List[Type[Rule]]:
+    """Registered rules auditing *dataset*, ordered by code."""
+    return [rule for rule in all_rules() if rule.dataset is dataset]

@@ -1,0 +1,70 @@
+"""IANA special-use number resources the rules check against.
+
+Two small lookup helpers: reserved/private ASN ranges (RFC 7607, RFC
+6996, RFC 5398, RFC 4893 AS_TRANS) and special-use IPv4 blocks (the
+RFC 6890 registry) that must never appear in a public routing table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..net import Prefix
+
+__all__ = [
+    "BOGON_PREFIXES",
+    "RESERVED_ASN_RANGES",
+    "is_reserved_asn",
+    "covering_bogon",
+]
+
+#: (first, last, label) ASN ranges that no public origin should use.
+RESERVED_ASN_RANGES: Tuple[Tuple[int, int, str], ...] = (
+    (0, 0, "AS0 (RFC 7607)"),
+    (23456, 23456, "AS_TRANS (RFC 4893)"),
+    (64496, 64511, "documentation (RFC 5398)"),
+    (64512, 65534, "private use (RFC 6996)"),
+    (65535, 65535, "reserved (RFC 7300)"),
+    (65536, 65551, "documentation (RFC 5398)"),
+    (4200000000, 4294967294, "private use (RFC 6996)"),
+    (4294967295, 4294967295, "reserved (RFC 7300)"),
+)
+
+#: Special-use IPv4 space (RFC 6890 plus multicast/Class E).
+BOGON_PREFIXES: Tuple[Tuple[Prefix, str], ...] = tuple(
+    (Prefix.parse(text), label)
+    for text, label in (
+        ("0.0.0.0/8", "this network (RFC 1122)"),
+        ("10.0.0.0/8", "private use (RFC 1918)"),
+        ("100.64.0.0/10", "shared CGN space (RFC 6598)"),
+        ("127.0.0.0/8", "loopback (RFC 1122)"),
+        ("169.254.0.0/16", "link local (RFC 3927)"),
+        ("172.16.0.0/12", "private use (RFC 1918)"),
+        ("192.0.0.0/24", "IETF protocol assignments (RFC 6890)"),
+        ("192.0.2.0/24", "documentation TEST-NET-1 (RFC 5737)"),
+        ("192.88.99.0/24", "deprecated 6to4 relay (RFC 7526)"),
+        ("192.168.0.0/16", "private use (RFC 1918)"),
+        ("198.18.0.0/15", "benchmarking (RFC 2544)"),
+        ("198.51.100.0/24", "documentation TEST-NET-2 (RFC 5737)"),
+        ("203.0.113.0/24", "documentation TEST-NET-3 (RFC 5737)"),
+        ("224.0.0.0/4", "multicast (RFC 5771)"),
+        ("240.0.0.0/4", "reserved Class E (RFC 1112)"),
+    )
+)
+
+
+def is_reserved_asn(asn: int) -> str:
+    """The reservation label covering *asn*, or empty when assignable."""
+    for first, last, label in RESERVED_ASN_RANGES:
+        if first <= asn <= last:
+            return label
+    return ""
+
+
+def covering_bogon(prefix: Prefix) -> List[str]:
+    """Labels of special-use blocks *prefix* overlaps (usually 0 or 1)."""
+    return [
+        label
+        for bogon, label in BOGON_PREFIXES
+        if bogon.overlaps(prefix)
+    ]

@@ -1,0 +1,11 @@
+"""The built-in rule set, registered on import.
+
+Importing this package populates the global registry in
+:mod:`repro.diagnostics.model`; series letters map to datasets:
+``W`` WHOIS, ``B`` BGP, ``R`` RPKI, ``T`` allocation tree, ``A`` AS
+metadata, ``X`` cross-dataset.
+"""
+
+from . import asdata, bgp, cross, rpki, tree, whois
+
+__all__ = ["asdata", "bgp", "cross", "rpki", "tree", "whois"]

@@ -1,0 +1,47 @@
+"""A-series rules: checks over the AS metadata datasets.
+
+The relationship graph and AS2org mapping are the glue of the §5.2
+relatedness test; holes between them degrade classifications silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import DiagnosticContext
+from ..model import Dataset, Diagnostic, Rule, Severity, register_rule
+
+__all__ = ["RelationshipOrphanAsnRule"]
+
+
+@register_rule
+class RelationshipOrphanAsnRule(Rule):
+    """An ASN appears in the relationship graph but has no AS2org
+    mapping.  The same-organisation test (§5.2 group 1) then cannot
+    fire for it, and lease/transfer distinctions fall back to weaker
+    evidence; widespread orphans mean the two CAIDA snapshots are from
+    different months.
+
+    Remediation: use the AS2org release matching the relationship
+    snapshot's date.
+    """
+
+    code = "A601"
+    title = "relationship-graph ASN missing from AS2org"
+    default_severity = Severity.WARNING
+    dataset = Dataset.ASDATA
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.relationships is None or context.as2org is None:
+            return
+        for asn in context.relationships.asns():
+            if context.as2org.org_of(asn) is None:
+                degree = len(context.relationships.neighbors(asn))
+                yield self.finding(
+                    subject=f"AS{asn}",
+                    message=(
+                        f"has {degree} relationship edge(s) but no "
+                        "AS2org organisation"
+                    ),
+                    location="as-rel+as2org",
+                )

@@ -1,0 +1,175 @@
+"""B-series rules: plausibility checks over the merged BGP view.
+
+A routing table assembled from collector dumps can carry garbage —
+special-use space, reserved origin ASNs, hyper-specifics — that a
+single bad peer session injects into the merged view the inference
+consumes (§5.1 step 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import DiagnosticContext
+from ..model import Dataset, Diagnostic, Rule, Severity, register_rule
+from ..numbering import covering_bogon, is_reserved_asn
+
+__all__ = [
+    "BogonPrefixRule",
+    "ReservedOriginAsnRule",
+    "MoasConflictRule",
+    "HyperSpecificAnnouncementRule",
+    "UnknownOriginRelationshipRule",
+]
+
+
+class _BgpRule(Rule):
+    """Base for rules over the routing table; skip when absent."""
+
+    dataset = Dataset.BGP
+
+
+@register_rule
+class BogonPrefixRule(_BgpRule):
+    """An announced prefix overlaps IANA special-use space (RFC 1918,
+    documentation nets, multicast, Class E, ...).  Such routes are leaks
+    or collector artifacts; counting them inflates every
+    routed-address-space denominator the paper reports.
+
+    Remediation: drop the rows at ingest or fix the collector filter
+    that admitted them.
+    """
+
+    code = "B201"
+    title = "special-use (bogon) prefix announced"
+    default_severity = Severity.ERROR
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None:
+            return
+        for prefix in context.routing_table.prefixes():
+            for label in covering_bogon(prefix):
+                yield self.finding(
+                    subject=str(prefix),
+                    message=f"overlaps {label}",
+                    location="rib",
+                )
+
+
+@register_rule
+class ReservedOriginAsnRule(_BgpRule):
+    """A route is originated by a reserved or private-use ASN (AS0,
+    AS_TRANS, RFC 6996 private ranges, documentation ASNs).  No holder
+    can legitimately announce from these, so any origin-based
+    classification of the route is meaningless.
+
+    Remediation: strip the rows at ingest; if widespread, the MRT/table
+    dump parser is mangling the AS path.
+    """
+
+    code = "B202"
+    title = "route originated by reserved ASN"
+    default_severity = Severity.ERROR
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None:
+            return
+        for origin in sorted(context.routing_table.origins()):
+            label = is_reserved_asn(origin)
+            if not label:
+                continue
+            count = len(context.routing_table.prefixes_of_origin(origin))
+            yield self.finding(
+                subject=f"AS{origin}",
+                message=f"{label} originates {count} prefix(es)",
+                location="rib",
+            )
+
+
+@register_rule
+class MoasConflictRule(_BgpRule):
+    """A prefix is originated by multiple ASes (MOAS).  Legitimate
+    (anycast, provider migration) but each conflict makes the
+    origin-to-holder step ambiguous, and lease churn is a known MOAS
+    source — worth surfacing, not worth gating on.
+
+    Remediation: none required; investigate clusters of conflicts
+    around a single origin for hijack or misclassification risk.
+    """
+
+    code = "B203"
+    title = "multi-origin (MOAS) prefix"
+    default_severity = Severity.INFO
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None:
+            return
+        for prefix, origins in context.routing_table.moas_prefixes():
+            names = ", ".join(f"AS{asn}" for asn in sorted(origins))
+            yield self.finding(
+                subject=str(prefix),
+                message=f"originated by {names}",
+                location="rib",
+            )
+
+
+@register_rule
+class HyperSpecificAnnouncementRule(_BgpRule):
+    """A prefix longer than /24 is announced.  Real networks filter
+    these; their presence means a collector peer leaked internal or
+    blackhole routes, and the paper's methodology removes them before
+    building the allocation tree (§5.1).
+
+    Remediation: filter announcements longer than /24 at ingest.
+    """
+
+    code = "B204"
+    title = "hyper-specific announcement (longer than /24)"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None:
+            return
+        for prefix in context.routing_table.prefixes():
+            if prefix.length > 24:
+                yield self.finding(
+                    subject=str(prefix),
+                    message=f"/{prefix.length} exceeds the /24 "
+                    "propagation norm",
+                    location="rib",
+                )
+
+
+@register_rule
+class UnknownOriginRelationshipRule(_BgpRule):
+    """An origin AS announces routes but has no edge in the
+    AS-relationship graph.  The §5.2 relatedness test degrades to
+    "unrelated" for such origins, biasing classification toward the
+    leased verdict; widespread hits mean the relationship snapshot and
+    RIB are from different dates.
+
+    Remediation: align the relationship dataset's snapshot date with
+    the RIB's, or accept the documented incompleteness (§7).
+    """
+
+    code = "B205"
+    title = "origin AS absent from the relationship graph"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None or context.relationships is None:
+            return
+        known = set(context.relationships.asns())
+        for origin in sorted(context.routing_table.origins()):
+            if origin not in known:
+                count = len(
+                    context.routing_table.prefixes_of_origin(origin)
+                )
+                yield self.finding(
+                    subject=f"AS{origin}",
+                    message=(
+                        f"originates {count} prefix(es) but has no "
+                        "relationship edges"
+                    ),
+                    location="as-rel",
+                )

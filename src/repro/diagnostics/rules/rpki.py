@@ -1,0 +1,171 @@
+"""R-series rules: sanity checks over the validated ROA (VRP) set.
+
+The paper leans on RPKI twice — coverage statistics (§6.5) and the
+AS0-between-leases signal (Fig. 3) — so a stale or implausible VRP
+snapshot quietly skews both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..context import DiagnosticContext
+from ..model import Dataset, Diagnostic, Rule, Severity, register_rule
+from ..numbering import is_reserved_asn
+
+__all__ = [
+    "StaleRoaRule",
+    "As0CoveredAnnouncementRule",
+    "RpkiInvalidAnnouncementRule",
+    "ReservedAsnRoaRule",
+]
+
+
+class _RpkiRule(Rule):
+    """Base for rules over the ROA set; skip when absent."""
+
+    dataset = Dataset.RPKI
+
+
+@register_rule
+class StaleRoaRule(_RpkiRule):
+    """A ROA covers address space that is not announced at all.  Often
+    legitimate (pre-provisioned or between-lease space), but a large
+    stale share indicates the VRP snapshot and the RIB are from
+    different dates.
+
+    Remediation: none per finding; if the stale share is large, re-pull
+    the VRP snapshot matching the RIB timestamp.
+    """
+
+    code = "R301"
+    title = "ROA covers no announced prefix"
+    default_severity = Severity.INFO
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.roas is None or context.routing_table is None:
+            return
+        table = context.routing_table
+        for roa in context.roas:
+            if not table.covered_prefixes(roa.prefix):
+                yield self.finding(
+                    subject=str(roa.prefix),
+                    message=(
+                        f"ROA for AS{roa.asn} covers no announced prefix"
+                    ),
+                    location="vrps",
+                )
+
+
+@register_rule
+class As0CoveredAnnouncementRule(_RpkiRule):
+    """An announced prefix is covered by an AS0 ("never originate",
+    RFC 7607) ROA and no other ROA authorizes its origin.  The paper
+    observes lessors publishing AS0 ROAs *between* leases — an AS0-
+    covered prefix that is simultaneously announced is either an
+    expired-lease squatter or an operator mistake.
+
+    Remediation: check whether the announcement outlived its lease;
+    confirm with the holder before treating the route as legitimate.
+    """
+
+    code = "R302"
+    title = "announced prefix covered by AS0 ROA"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.roas is None or context.routing_table is None:
+            return
+        for prefix, origins in context.routing_table.items():
+            if not context.roas.has_as0(prefix):
+                continue
+            covering = context.roas.covering(prefix)
+            authorized = any(
+                roa.authorizes(prefix, origin)
+                for origin in origins
+                for roa in covering
+            )
+            if not authorized:
+                names = ", ".join(f"AS{asn}" for asn in sorted(origins))
+                yield self.finding(
+                    subject=str(prefix),
+                    message=f"announced by {names} under an AS0 ROA",
+                    location="vrps",
+                )
+
+
+@register_rule
+class RpkiInvalidAnnouncementRule(_RpkiRule):
+    """An announced prefix is covered by ROAs, yet no covering ROA
+    authorizes any of its observed origins (RPKI-invalid).  A background
+    rate is normal; a spike usually means the VRP snapshot predates a
+    wave of (re)leases and the §6.5 validity profile will be wrong.
+
+    Remediation: none per finding; compare the invalid share against
+    the published routinator/rpki-client dashboards for the RIB date.
+    """
+
+    code = "R303"
+    title = "RPKI-invalid announcement"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.roas is None or context.routing_table is None:
+            return
+        for prefix, origins in context.routing_table.items():
+            covering = context.roas.covering(prefix)
+            if not covering or any(roa.is_as0 for roa in covering):
+                continue  # not covered, or AS0 handled by R302
+            authorized = any(
+                roa.authorizes(prefix, origin)
+                for origin in origins
+                for roa in covering
+            )
+            if not authorized:
+                names = ", ".join(f"AS{asn}" for asn in sorted(origins))
+                if any(roa.asn in origins for roa in covering):
+                    # Right origin, wrong length: a maxLength violation.
+                    limits = ", ".join(
+                        f"/{roa.effective_max_length}"
+                        for roa in covering
+                        if roa.asn in origins
+                    )
+                    reason = f"/{prefix.length} exceeds maxLength {limits}"
+                else:
+                    roa_asns = ", ".join(
+                        f"AS{roa.asn}" for roa in covering[:3]
+                    )
+                    reason = f"ROAs authorize {roa_asns}"
+                yield self.finding(
+                    subject=str(prefix),
+                    message=f"announced by {names} but {reason}",
+                    location="vrps",
+                )
+
+
+@register_rule
+class ReservedAsnRoaRule(_RpkiRule):
+    """A ROA authorizes a reserved or private-use ASN (other than the
+    deliberate AS0 marker).  Such a ROA can never validate a public
+    announcement and usually means a typo'd ASN at ROA creation.
+
+    Remediation: fix or revoke the ROA at the publishing CA.
+    """
+
+    code = "R304"
+    title = "ROA authorizes reserved ASN"
+    default_severity = Severity.ERROR
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.roas is None:
+            return
+        for roa in context.roas:
+            if roa.is_as0:
+                continue  # RFC 7607: deliberate "never originate"
+            label = is_reserved_asn(roa.asn)
+            if label:
+                yield self.finding(
+                    subject=str(roa.prefix),
+                    message=f"ROA authorizes AS{roa.asn} ({label})",
+                    location="vrps",
+                )

@@ -1,0 +1,186 @@
+"""T-series rules: invariants of the assembled allocation tree.
+
+The §5.1 tree is where WHOIS structure becomes classification units:
+roots should be portable direct allocations, leaves the non-portable
+assignments the paper classifies, with no hyper-specifics and no
+partially overlapping registrations muddying parent/child roles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...whois.objects import InetnumRecord
+from ...whois.statuses import Portability
+from ..context import DiagnosticContext
+from ..model import Dataset, Diagnostic, Rule, Severity, register_rule
+
+__all__ = [
+    "NonPortableRootRule",
+    "HyperSpecificRegistrationRule",
+    "PartialOverlapRule",
+    "RootOrgWithoutAsnRule",
+]
+
+
+class _TreeRule(Rule):
+    """Base for rules over the per-registry allocation trees."""
+
+    dataset = Dataset.TREE
+
+
+@register_rule
+class NonPortableRootRule(_TreeRule):
+    """A tree root — a prefix with no registered covering block — does
+    not carry a portable status.  §2.1 defines roots as space an RIR
+    distributed directly; a non-portable or unknown-status root means
+    the covering allocation is missing from the dump and every leaf
+    below it inherits a wrong address provider.
+
+    Remediation: locate the missing covering allocation in the source
+    registry, or correct the root record's status.
+    """
+
+    code = "T401"
+    title = "allocation-tree root is not portable space"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        for rir, tree in context.trees().items():
+            for prefix, record in tree.roots():
+                if record.portability is not Portability.PORTABLE:
+                    yield self.finding(
+                        subject=str(prefix),
+                        message=(
+                            f"root status {record.status!r} is "
+                            f"{record.portability.value}, expected portable"
+                        ),
+                        location=rir.name,
+                    )
+
+
+@register_rule
+class HyperSpecificRegistrationRule(_TreeRule):
+    """A registration decomposes into prefixes longer than /24.  The
+    methodology drops hyper-specifics before building the tree, so this
+    space silently vanishes from the census; a high count usually means
+    ranges were parsed with off-by-one boundaries.
+
+    Remediation: verify the range boundaries against the source dump;
+    genuine hyper-specific assignments can be suppressed per config.
+    """
+
+    code = "T402"
+    title = "registration finer than /24 (dropped from the tree)"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        for database in context.databases():
+            for record in database.inetnums:
+                if record.is_legacy:
+                    continue  # legacy space never enters the tree
+                if record.range.first > record.range.last:
+                    continue  # inverted (W106) ranges can't decompose
+                lengths = [
+                    prefix.length
+                    for prefix in record.range.to_prefixes()
+                    if prefix.length > 24
+                ]
+                if lengths:
+                    yield self.finding(
+                        subject=str(record.range),
+                        message=(
+                            f"decomposes into {len(lengths)} hyper-specific "
+                            f"prefix(es) up to /{max(lengths)}"
+                        ),
+                        location=database.rir.name,
+                    )
+
+
+@register_rule
+class PartialOverlapRule(_TreeRule):
+    """Two registered ranges overlap without one containing the other.
+    CIDR decomposition then assigns the shared addresses to both
+    records, the trie keeps whichever got inserted first, and sibling
+    leaves double-count address space.
+
+    Remediation: fix the range boundaries of one of the two records in
+    the source registry dump.
+    """
+
+    code = "T403"
+    title = "partially overlapping sibling registrations"
+    default_severity = Severity.ERROR
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        for database in context.databases():
+            # Sweep ranges sorted by start; a stack of enclosing ranges
+            # makes partial overlap (start inside, end outside) O(n log n).
+            records = sorted(
+                database.inetnums,
+                key=lambda r: (r.range.first, -r.range.last),
+            )
+            stack: List[InetnumRecord] = []
+            for record in records:
+                while stack and stack[-1].range.last < record.range.first:
+                    stack.pop()
+                if stack:
+                    top = stack[-1]
+                    if (
+                        top.range.last < record.range.last
+                        and top.range.first <= record.range.first
+                        and record.range.first <= top.range.last
+                        and top.range != record.range
+                    ):
+                        yield self.finding(
+                            subject=str(record.range),
+                            message=(
+                                f"range {record.range} partially overlaps "
+                                f"{top.range}"
+                            ),
+                            location=database.rir.name,
+                        )
+                stack.append(record)
+
+
+@register_rule
+class RootOrgWithoutAsnRule(_TreeRule):
+    """A portable root's organisation has no resolvable AS number in
+    WHOIS or AS2org.  §5.1 step 3 assigns origin ASNs through the root
+    org; without any, every leaf under the root can only classify via
+    the relatedness fallback, inflating the leased verdict.
+
+    Remediation: check whether the registry dump dropped the org's
+    aut-num objects; otherwise record the org as an ASN-less holder
+    (common for pure address-holding shells).
+    """
+
+    code = "T404"
+    title = "root organisation has no resolvable ASN"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.whois is None:
+            return
+        for rir, tree in context.trees().items():
+            database = context.whois[rir]
+            seen = set()
+            for prefix, record in tree.portable_roots():
+                org_id = record.org_id
+                if not org_id or org_id in seen:
+                    continue
+                seen.add(org_id)
+                if database.asns_of_org(org_id):
+                    continue
+                if context.as2org is not None and context.as2org.members(
+                    org_id
+                ):
+                    continue
+                yield self.finding(
+                    subject=org_id,
+                    message=(
+                        f"holds root {prefix} but no AS number resolves "
+                        "to it"
+                    ),
+                    location=rir.name,
+                )

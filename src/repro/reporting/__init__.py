@@ -1,5 +1,9 @@
 """Text reports reproducing the paper's tables and Fig. 3."""
 
+from .diagnostics import (
+    render_diagnostics_summary,
+    render_diagnostics_text,
+)
 from .export import to_csv, to_markdown
 from .figures import render_timeline
 from .report import build_full_report
@@ -15,6 +19,8 @@ from .text import render_table
 
 __all__ = [
     "build_full_report",
+    "render_diagnostics_summary",
+    "render_diagnostics_text",
     "render_drop_stats",
     "render_hijacker_stats",
     "render_roa_stats",

@@ -1,0 +1,31 @@
+"""Rendering diagnostics reports for the ``repro lint`` front end."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..diagnostics.engine import DiagnosticsReport
+
+__all__ = ["render_diagnostics_summary", "render_diagnostics_text"]
+
+
+def render_diagnostics_summary(report: DiagnosticsReport) -> str:
+    """One-line wrap-up: rule count plus findings per severity.
+
+    The error slot reads ``no errors`` when the run is clean so shell
+    pipelines (and humans) can grep for success.
+    """
+    counts = report.counts_by_severity()
+    errors = counts["error"]
+    error_text = f"{errors} error(s)" if errors else "no errors"
+    return (
+        f"{len(report.rules_run)} rule(s) run: {error_text}, "
+        f"{counts['warning']} warning(s), {counts['info']} info"
+    )
+
+
+def render_diagnostics_text(report: DiagnosticsReport) -> str:
+    """Full text report: one line per finding, then the summary line."""
+    lines: List[str] = [str(finding) for finding in report.findings]
+    lines.append(render_diagnostics_summary(report))
+    return "\n".join(lines)

@@ -346,6 +346,13 @@ class WorldBuilder:
         for index, left in enumerate(self.tier1):
             for right in self.tier1[index + 1 :]:
                 self.topology.add_p2p(left, right)
+        # Tier-1 carriers never originate classified space, but CAIDA's
+        # AS2org still knows them; leaving them unmapped would be a
+        # dataset-consistency defect (diagnostics A601).
+        for index, asn in enumerate(self.tier1):
+            self._register_org(
+                RIR.ARIN, f"Tier-1 Transit Carrier {index + 1}", asns=(asn,)
+            )
         for spec in self.scenario.regions:
             regional = [self._asn() for _ in range(4)]
             self.tier2[spec.rir] = regional
@@ -993,6 +1000,7 @@ class WorldBuilder:
             return
         scenario = self.scenario
         background_asns: List[int] = []
+        background_owners: Dict[int, Tuple[str, str]] = {}
         # Size the AS pool to the prefix count so tiny scenarios still get
         # several distinct origins (and never an all-hijacker pool).
         per_as = max(1, min(40, count // 8))
@@ -1000,7 +1008,9 @@ class WorldBuilder:
             asn = self._asn()
             background_asns.append(asn)
             self._attach_edge_as(spec.rir, asn)
-            self._register_org(spec.rir, self.forge.company(), asns=(asn,))
+            background_owners[asn] = self._register_org(
+                spec.rir, self.forge.company(), asns=(asn,)
+            )
         flagged_count = len(background_asns) // 12
         bg_hijackers = background_asns[:flagged_count]
         self.hijacker_asns.update(bg_hijackers)
@@ -1048,6 +1058,19 @@ class WorldBuilder:
             else:
                 origin = self.rng.choice(clean)
             self.announcements.append(Announcement(prefix, origin))
+            # Background space is registered like any other direct
+            # assignment; a routing table announcing WHOIS-less space
+            # would be a cross-dataset inconsistency (diagnostics X501).
+            org_id, mnt = background_owners[origin]
+            self.whois[spec.rir].add(
+                InetnumRecord(
+                    rir=spec.rir,
+                    range=AddressRange.from_prefix(prefix),
+                    status=_PORTABLE_STATUS[spec.rir],
+                    org_id=org_id,
+                    maintainers=(mnt,),
+                )
+            )
 
     # -- stage 4: routing table --------------------------------------------
     def _build_routing_table(self) -> RoutingTable:

@@ -1,32 +1,32 @@
-"""WHOIS database linting: structural checks a registry QA pass runs.
+"""WHOIS database linting: compatibility shim over the diagnostics engine.
 
-Real dumps are imperfect; before inferring anything the paper's pipeline
-implicitly relies on properties this linter makes explicit:
-
-* address blocks carry a recognized status for their registry,
-* non-portable blocks nest inside a covering registered block,
-* referenced organisations exist,
-* AS registrations point at existing organisations,
-* address ranges are well-formed (non-inverted, non-duplicate).
-
-The linter reports issues; it never mutates the database.
+Historically this module implemented the structural registry checks
+itself; they now live in :mod:`repro.diagnostics.rules.whois` as W-series
+rules of the unified diagnostics engine, which also covers BGP, RPKI,
+AS metadata, the allocation tree, and cross-dataset consistency.  This
+shim keeps the original single-database API — :func:`lint_database`
+returning :class:`LintIssue` objects with the legacy code names — for
+callers that predate the engine.  New code should use
+:class:`repro.diagnostics.DiagnosticsEngine` directly.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List
 
-from ..net import Prefix, PrefixTrie
+from ..diagnostics.config import DiagnosticsConfig
+from ..diagnostics.context import DiagnosticContext
+from ..diagnostics.engine import DiagnosticsEngine
+from ..diagnostics.model import Severity
 from .database import WhoisDatabase
-from .statuses import Portability
 
 __all__ = ["LintIssue", "LintLevel", "lint_database"]
 
 
 class LintLevel(enum.Enum):
-    """Severity of a lint finding."""
+    """Severity of a lint finding (legacy two-level scale)."""
 
     WARNING = "warning"
     ERROR = "error"
@@ -46,99 +46,40 @@ class LintIssue:
         return f"{self.level.value}: [{self.code}] {self.subject}{suffix}"
 
 
+#: Engine rule code → the historical lint code names.
+_LEGACY_CODES: Dict[str, str] = {
+    "W101": "unknown-status",
+    "W102": "dangling-org",
+    "W103": "dangling-org",
+    "W104": "orphan-nonportable",
+    "W105": "duplicate-range",
+    "W106": "inverted-range",
+}
+
+
 def lint_database(database: WhoisDatabase) -> List[LintIssue]:
-    """Run all checks over one regional database."""
+    """Run the W-series rules over one regional database.
+
+    Returns legacy :class:`LintIssue` objects; severities collapse onto
+    the historical two-level scale (info counts as a warning).
+    """
+    engine = DiagnosticsEngine(
+        config=DiagnosticsConfig.build(select=_LEGACY_CODES)
+    )
+    report = engine.run(DiagnosticContext.whois_only(database))
     issues: List[LintIssue] = []
-    issues.extend(_check_statuses(database))
-    issues.extend(_check_org_references(database))
-    issues.extend(_check_autnum_orgs(database))
-    issues.extend(_check_nesting(database))
-    issues.extend(_check_duplicates(database))
-    return issues
-
-
-def _check_statuses(database: WhoisDatabase) -> List[LintIssue]:
-    issues = []
-    for record in database.inetnums:
-        if record.portability is Portability.UNKNOWN:
-            issues.append(
-                LintIssue(
-                    level=LintLevel.WARNING,
-                    code="unknown-status",
-                    subject=str(record.range),
-                    detail=f"status {record.status!r} not recognized for "
-                    f"{database.rir.name}",
-                )
+    for finding in report.findings:
+        level = (
+            LintLevel.ERROR
+            if finding.severity is Severity.ERROR
+            else LintLevel.WARNING
+        )
+        issues.append(
+            LintIssue(
+                level=level,
+                code=_LEGACY_CODES.get(finding.code, finding.code),
+                subject=finding.subject,
+                detail=finding.message,
             )
-    return issues
-
-
-def _check_org_references(database: WhoisDatabase) -> List[LintIssue]:
-    issues = []
-    for record in database.inetnums:
-        if record.org_id and database.org(record.org_id) is None:
-            issues.append(
-                LintIssue(
-                    level=LintLevel.ERROR,
-                    code="dangling-org",
-                    subject=str(record.range),
-                    detail=f"references missing {record.org_id}",
-                )
-            )
-    return issues
-
-
-def _check_autnum_orgs(database: WhoisDatabase) -> List[LintIssue]:
-    issues = []
-    for record in database.autnums:
-        if record.org_id and database.org(record.org_id) is None:
-            issues.append(
-                LintIssue(
-                    level=LintLevel.ERROR,
-                    code="dangling-org",
-                    subject=f"AS{record.asn}",
-                    detail=f"references missing {record.org_id}",
-                )
-            )
-    return issues
-
-
-def _check_nesting(database: WhoisDatabase) -> List[LintIssue]:
-    """Non-portable blocks should have a covering registered block."""
-    trie: PrefixTrie[bool] = PrefixTrie()
-    for record in database.inetnums:
-        for prefix in record.range.to_prefixes():
-            trie.insert(prefix, True)
-    issues = []
-    for record in database.inetnums:
-        if record.portability is not Portability.NON_PORTABLE:
-            continue
-        for prefix in record.range.to_prefixes():
-            if trie.parent(prefix) is None:
-                issues.append(
-                    LintIssue(
-                        level=LintLevel.WARNING,
-                        code="orphan-nonportable",
-                        subject=str(prefix),
-                        detail="no covering registered block",
-                    )
-                )
-    return issues
-
-
-def _check_duplicates(database: WhoisDatabase) -> List[LintIssue]:
-    seen: dict = {}
-    issues = []
-    for record in database.inetnums:
-        key = (record.range.first, record.range.last)
-        if key in seen:
-            issues.append(
-                LintIssue(
-                    level=LintLevel.WARNING,
-                    code="duplicate-range",
-                    subject=str(record.range),
-                    detail="registered more than once",
-                )
-            )
-        seen[key] = record
+        )
     return issues

@@ -112,7 +112,10 @@ class TestAS2Org:
         assert reloaded.org_name("ORG-VOD") == "Vodafone Group"
 
     def test_jsonl_ignores_unknown_types(self):
-        text = '{"type": "Link", "x": 1}\n{"type": "ASN", "asn": "7", "organizationId": "O"}\n'
+        text = (
+            '{"type": "Link", "x": 1}\n'
+            '{"type": "ASN", "asn": "7", "organizationId": "O"}\n'
+        )
         dataset = AS2Org.from_jsonl(text)
         assert dataset.org_of(7) == "O"
 

@@ -133,7 +133,11 @@ class TestTableDump:
 
     def test_malformed_raises_in_strict_mode(self):
         with pytest.raises(TableDumpError):
-            list(read_table_dump("TABLE_DUMP2|x|B|1.2.3.4|1|10.0.0.0/8|1|IGP", strict=True))
+            list(
+                read_table_dump(
+                    "TABLE_DUMP2|x|B|1.2.3.4|1|10.0.0.0/8|1|IGP", strict=True
+                )
+            )
 
     def test_wrong_marker_rejected(self):
         with pytest.raises(TableDumpError):

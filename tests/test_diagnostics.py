@@ -1,0 +1,464 @@
+"""Tests for the unified diagnostics engine and its CLI front end."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.abuse.dropdb import AsnDropList
+from repro.asdata import AS2Org, ASRelationships, SerialHijackerList
+from repro.bgp import RoutingTable
+from repro.cli import main
+from repro.diagnostics import (
+    Dataset,
+    DiagnosticContext,
+    DiagnosticsConfig,
+    DiagnosticsEngine,
+    Severity,
+    all_rules,
+    render_rule_catalog,
+    rule_for_code,
+)
+from repro.net import AddressRange, Prefix
+from repro.rir import RIR
+from repro.rpki import ROA, RoaSet
+from repro.simulation import build_world, small_world
+from repro.whois import (
+    AutNumRecord,
+    InetnumRecord,
+    OrgRecord,
+    WhoisCollection,
+    WhoisDatabase,
+)
+
+DOCS_PATH = Path(__file__).resolve().parent.parent / "docs" / "DIAGNOSTICS.md"
+
+
+def ripe_db(*records):
+    database = WhoisDatabase(RIR.RIPE)
+    for record in records:
+        database.add(record)
+    return database
+
+
+def collection(database):
+    return WhoisCollection(databases={database.rir: database})
+
+
+def run(context, **config_kwargs):
+    config = (
+        DiagnosticsConfig.build(**config_kwargs)
+        if config_kwargs
+        else None
+    )
+    return DiagnosticsEngine(config=config).run(context)
+
+
+def codes(report):
+    return {finding.code for finding in report.findings}
+
+
+def inetnum(text, status="ALLOCATED PA", org_id=None, net_name=None):
+    return InetnumRecord(
+        rir=RIR.RIPE,
+        range=AddressRange.parse(text),
+        status=status,
+        org_id=org_id,
+        net_name=net_name,
+    )
+
+
+class TestRegistry:
+    def test_at_least_twelve_rules_across_four_datasets(self):
+        rules = all_rules()
+        assert len(rules) >= 12
+        datasets = {rule.dataset for rule in rules}
+        assert len(datasets) >= 4
+        assert {
+            Dataset.WHOIS,
+            Dataset.BGP,
+            Dataset.RPKI,
+            Dataset.TREE,
+        } <= datasets
+
+    def test_codes_unique_and_resolvable(self):
+        rules = all_rules()
+        assert len({rule.code for rule in rules}) == len(rules)
+        for rule in rules:
+            assert rule_for_code(rule.code) is rule
+
+    def test_every_rule_documents_itself(self):
+        for rule in all_rules():
+            assert rule.rationale(), rule.code
+            assert rule.remediation(), rule.code
+
+
+class TestConfig:
+    def test_suppression_disables_rule(self):
+        database = ripe_db(inetnum("10.0.0.0/16", status="ODDBALL"))
+        context = DiagnosticContext.whois_only(database)
+        assert "W101" in codes(run(context))
+        assert "W101" not in codes(run(context, suppress=["W101"]))
+
+    def test_severity_override_applied(self):
+        database = ripe_db(inetnum("10.0.0.0/16", status="ODDBALL"))
+        context = DiagnosticContext.whois_only(database)
+        report = run(context, severity_overrides={"W101": "error"})
+        severities = {
+            f.code: f.severity for f in report.findings
+        }
+        assert severities["W101"] is Severity.ERROR
+
+    def test_select_restricts_rules_run(self):
+        database = ripe_db(inetnum("10.0.0.0/16"))
+        context = DiagnosticContext.whois_only(database)
+        report = run(context, select=["W101", "W102"])
+        assert report.rules_run == ["W101", "W102"]
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError):
+            DiagnosticsConfig.from_mapping({"selekt": ["W101"]})
+
+
+class TestWhoisRules:
+    def test_w102_dangling_inetnum_org(self):
+        database = ripe_db(inetnum("10.0.0.0/16", org_id="ORG-GONE"))
+        report = run(DiagnosticContext.whois_only(database))
+        findings = [f for f in report.findings if f.code == "W102"]
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.ERROR
+        assert "ORG-GONE" in findings[0].message
+
+    def test_w105_message_contains_offending_range(self):
+        database = ripe_db(
+            inetnum("10.0.0.0/16", net_name="FIRST"),
+            inetnum("10.0.0.0/16", net_name="SECOND"),
+        )
+        report = run(DiagnosticContext.whois_only(database))
+        (finding,) = [f for f in report.findings if f.code == "W105"]
+        assert "10.0.0.0 - 10.0.255.255" in finding.message
+        assert "FIRST" in finding.message
+        assert "SECOND" in finding.message
+
+
+class TestBgpRules:
+    def test_b201_bogon_announcement(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("192.168.1.0/24"), 100)
+        report = run(DiagnosticContext(routing_table=table))
+        assert "B201" in codes(report)
+
+    def test_b202_reserved_origin(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.0.0/16"), 64512)
+        report = run(DiagnosticContext(routing_table=table))
+        (finding,) = [f for f in report.findings if f.code == "B202"]
+        assert "AS64512" == finding.subject
+
+    def test_b203_moas(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.0.0/16"), 100)
+        table.add_route(Prefix.parse("9.0.0.0/16"), 200)
+        report = run(DiagnosticContext(routing_table=table))
+        assert "B203" in codes(report)
+
+    def test_b204_hyper_specific(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.0.0/30"), 100)
+        report = run(DiagnosticContext(routing_table=table))
+        assert "B204" in codes(report)
+
+    def test_b205_origin_missing_from_relationships(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.0.0/16"), 300)
+        relationships = ASRelationships()
+        relationships.add(100, 200, -1)
+        report = run(
+            DiagnosticContext(
+                routing_table=table, relationships=relationships
+            )
+        )
+        assert "B205" in codes(report)
+
+    def test_clean_table_yields_nothing(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.0.0/16"), 100)
+        report = run(DiagnosticContext(routing_table=table))
+        assert codes(report) == set()
+
+
+class TestRpkiRules:
+    def test_r301_stale_roa(self):
+        roas = RoaSet([ROA(prefix=Prefix.parse("9.9.0.0/16"), asn=100)])
+        report = run(
+            DiagnosticContext(roas=roas, routing_table=RoutingTable())
+        )
+        assert "R301" in codes(report)
+
+    def test_r302_announced_under_as0(self):
+        roas = RoaSet([ROA(prefix=Prefix.parse("9.9.0.0/16"), asn=0)])
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.9.0.0/16"), 100)
+        report = run(DiagnosticContext(roas=roas, routing_table=table))
+        assert "R302" in codes(report)
+
+    def test_r303_maxlength_violation_message(self):
+        roas = RoaSet([ROA(prefix=Prefix.parse("9.9.0.0/16"), asn=100)])
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.9.1.0/24"), 100)
+        report = run(DiagnosticContext(roas=roas, routing_table=table))
+        (finding,) = [f for f in report.findings if f.code == "R303"]
+        assert "maxLength" in finding.message
+
+    def test_r304_reserved_asn_roa(self):
+        roas = RoaSet(
+            [ROA(prefix=Prefix.parse("9.9.0.0/16"), asn=64512)]
+        )
+        report = run(DiagnosticContext(roas=roas))
+        (finding,) = [f for f in report.findings if f.code == "R304"]
+        assert finding.severity is Severity.ERROR
+
+
+class TestTreeRules:
+    def test_t401_non_portable_root(self):
+        database = ripe_db(inetnum("10.0.0.0/24", status="ASSIGNED PA"))
+        report = run(DiagnosticContext(whois=collection(database)))
+        assert "T401" in codes(report)
+
+    def test_t402_hyper_specific_registration(self):
+        database = ripe_db(inetnum("10.0.0.0/25"))
+        report = run(DiagnosticContext(whois=collection(database)))
+        assert "T402" in codes(report)
+
+    def test_t403_partial_overlap(self):
+        database = ripe_db(
+            inetnum("10.0.0.0 - 10.0.0.255"),
+            inetnum("10.0.0.128 - 10.0.1.255"),
+        )
+        report = run(DiagnosticContext(whois=collection(database)))
+        (finding,) = [f for f in report.findings if f.code == "T403"]
+        assert finding.severity is Severity.ERROR
+        assert "10.0.0.128 - 10.0.1.255" in finding.message
+
+    def test_t404_root_org_without_asn(self):
+        database = ripe_db(
+            inetnum("10.0.0.0/16", org_id="ORG-SHELL"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-SHELL", name="Shell"),
+        )
+        report = run(DiagnosticContext(whois=collection(database)))
+        assert "T404" in codes(report)
+
+    def test_t404_quiet_when_asn_resolves(self):
+        database = ripe_db(
+            inetnum("10.0.0.0/16", org_id="ORG-HELD"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-HELD", name="Held"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-HELD"),
+        )
+        report = run(DiagnosticContext(whois=collection(database)))
+        assert "T404" not in codes(report)
+
+
+class TestCrossRules:
+    def test_x501_announced_but_unregistered(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.9.9.0/24"), 100)
+        report = run(
+            DiagnosticContext(
+                whois=WhoisCollection(), routing_table=table
+            )
+        )
+        (finding,) = [f for f in report.findings if f.code == "X501"]
+        assert "AS100" in finding.message
+
+    def test_x502_roa_org_mismatch(self):
+        database = ripe_db(
+            inetnum("10.0.0.0/16", org_id="ORG-HOLDER"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-HOLDER", name="Holder"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-OTHER", name="Other"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-OTHER"),
+        )
+        roas = RoaSet([ROA(prefix=Prefix.parse("10.0.0.0/16"), asn=100)])
+        report = run(
+            DiagnosticContext(whois=collection(database), roas=roas)
+        )
+        assert "X502" in codes(report)
+
+    def test_x503_drop_listed_root_org(self):
+        database = ripe_db(
+            inetnum("10.0.0.0/16", org_id="ORG-BAD"),
+            OrgRecord(rir=RIR.RIPE, org_id="ORG-BAD", name="Bad"),
+            AutNumRecord(rir=RIR.RIPE, asn=100, org_id="ORG-BAD"),
+        )
+        report = run(
+            DiagnosticContext(
+                whois=collection(database),
+                drop=AsnDropList.from_asns([100]),
+            )
+        )
+        (finding,) = [f for f in report.findings if f.code == "X503"]
+        assert finding.subject == "AS100"
+
+    def test_x504_hijacker_origin(self):
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.9.9.0/24"), 100)
+        report = run(
+            DiagnosticContext(
+                routing_table=table,
+                hijackers=SerialHijackerList([100, 999]),
+            )
+        )
+        (finding,) = [f for f in report.findings if f.code == "X504"]
+        assert finding.subject == "AS100"
+
+
+class TestAsdataRules:
+    def test_a601_relationship_asn_without_org(self):
+        relationships = ASRelationships()
+        relationships.add(100, 200, -1)
+        as2org = AS2Org()
+        as2org.add_org("ORG-A", "A")
+        as2org.map_asn(100, "ORG-A")
+        report = run(
+            DiagnosticContext(
+                relationships=relationships, as2org=as2org
+            )
+        )
+        (finding,) = [f for f in report.findings if f.code == "A601"]
+        assert finding.subject == "AS200"
+
+
+class TestReport:
+    def test_clean_small_world_has_zero_errors(self):
+        world = build_world(small_world())
+        report = DiagnosticsEngine().run(
+            DiagnosticContext.from_world(world)
+        )
+        assert report.errors() == []
+        assert len(report.rules_run) == len(all_rules())
+        assert report.exit_code(Severity.ERROR) == 0
+
+    def test_exit_code_gating(self):
+        database = ripe_db(inetnum("10.0.0.0/16", org_id="ORG-GONE"))
+        report = run(DiagnosticContext.whois_only(database))
+        assert report.has_at_least(Severity.ERROR)
+        assert report.exit_code(Severity.ERROR) == 1
+        assert report.exit_code(None) == 0
+
+    def test_json_round_trip(self):
+        database = ripe_db(inetnum("10.0.0.0/16", org_id="ORG-GONE"))
+        report = run(DiagnosticContext.whois_only(database))
+        payload = json.loads(report.to_json())
+        assert payload["counts"]["error"] == len(report.errors())
+        assert payload["rules_run"] == report.rules_run
+        w102 = [
+            f for f in payload["findings"] if f["code"] == "W102"
+        ]
+        assert w102 and w102[0]["severity"] == "error"
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("lint-world") / "data"
+    assert main(["generate", "--small", "--out", str(out)]) == 0
+    return out
+
+
+def seed_defect(data_dir):
+    """Append a dangling-org registration (W102, an error) to RIPE."""
+    ripe = data_dir / "whois" / "ripe.db"
+    ripe.write_text(
+        ripe.read_text()
+        + "\ninetnum:        62.200.0.0 - 62.200.0.255\n"
+        "netname:        BAD-SEED\n"
+        "status:         ASSIGNED PA\n"
+        "org:            ORG-NOPE\n"
+        "source:         RIPE\n"
+    )
+
+
+class TestLintCli:
+    def test_clean_world_exits_zero(self, data_dir, capsys):
+        assert main(["lint", "--data", str(data_dir)]) == 0
+        assert "no errors" in capsys.readouterr().out
+
+    def test_json_format(self, data_dir, capsys):
+        assert (
+            main(["lint", "--data", str(data_dir), "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 0
+        assert len(payload["rules_run"]) >= 12
+
+    def test_fail_on_warning_trips_on_warnings(self, data_dir):
+        assert (
+            main(
+                ["lint", "--data", str(data_dir), "--fail-on", "warning"]
+            )
+            == 1
+        )
+
+    def test_suppress_and_override_flags(self, data_dir):
+        assert (
+            main(
+                [
+                    "lint",
+                    "--data",
+                    str(data_dir),
+                    "--fail-on",
+                    "warning",
+                    "--suppress",
+                    "R303",
+                    "--suppress",
+                    "X504",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "lint",
+                    "--data",
+                    str(data_dir),
+                    "--severity",
+                    "R303=error",
+                ]
+            )
+            == 1
+        )
+
+    def test_bad_severity_spec_rejected(self, data_dir):
+        assert (
+            main(["lint", "--data", str(data_dir), "--severity", "R303"])
+            == 2
+        )
+
+    def test_seeded_defect_gates(self, tmp_path, capsys):
+        out = tmp_path / "data"
+        assert main(["generate", "--small", "--out", str(out)]) == 0
+        seed_defect(out)
+        capsys.readouterr()
+        assert main(["lint", "--data", str(out)]) == 1
+        output = capsys.readouterr().out
+        assert "W102" in output
+        assert "ORG-NOPE" in output
+        assert (
+            main(["lint", "--data", str(out), "--fail-on", "never"]) == 0
+        )
+        assert main(["infer", "--data", str(out), "--strict"]) == 1
+        assert "aborting" in capsys.readouterr().out
+
+    def test_strict_infer_passes_on_clean_data(self, data_dir, capsys):
+        assert main(["infer", "--data", str(data_dir), "--strict"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+
+class TestDocsCatalog:
+    def test_catalog_lists_every_rule(self):
+        catalog = render_rule_catalog()
+        for rule in all_rules():
+            assert f"### {rule.code}: {rule.title}" in catalog
+
+    def test_committed_docs_in_sync(self):
+        assert DOCS_PATH.read_text() == render_rule_catalog()

@@ -11,6 +11,7 @@ from repro.simulation import build_world, small_world
 from repro.whois import (
     AutNumRecord,
     InetnumRecord,
+    OrgRecord,
     WhoisDatabase,
 )
 from repro.whois.lint import LintLevel, lint_database
@@ -178,6 +179,51 @@ class TestWhoisLint:
             )
         issues = lint_database(database)
         assert sum(1 for i in issues if i.code == "duplicate-range") == 1
+
+    def test_duplicate_message_names_range_and_holders(self):
+        # A finding must carry enough subject detail to act on: the
+        # offending range and both registrants.
+        database = WhoisDatabase(RIR.RIPE)
+        for org in ("ORG-FIRST", "ORG-SECOND"):
+            database.add(
+                InetnumRecord(
+                    rir=RIR.RIPE,
+                    range=AddressRange.parse("10.0.0.0/16"),
+                    status="ALLOCATED PA",
+                    org_id=org,
+                )
+            )
+            database.add(
+                OrgRecord(rir=RIR.RIPE, org_id=org, name=org.title())
+            )
+        duplicates = [
+            i for i in lint_database(database) if i.code == "duplicate-range"
+        ]
+        assert len(duplicates) == 1
+        issue = duplicates[0]
+        assert "10.0.0.0 - 10.0.255.255" in issue.detail
+        assert "ORG-FIRST" in issue.detail
+        assert "ORG-SECOND" in issue.detail
+
+    def test_inverted_range_reported_as_error(self):
+        # Parsers reject inverted ranges, but records built
+        # programmatically can bypass validation; the linter must not
+        # assume well-formedness.
+        bad_range = AddressRange.__new__(AddressRange)
+        object.__setattr__(bad_range, "first", 0x0A0000FF)
+        object.__setattr__(bad_range, "last", 0x0A000000)
+        database = WhoisDatabase(RIR.RIPE)
+        database.add(
+            InetnumRecord(
+                rir=RIR.RIPE, range=bad_range, status="ALLOCATED PA"
+            )
+        )
+        inverted = [
+            i for i in lint_database(database) if i.code == "inverted-range"
+        ]
+        assert len(inverted) == 1
+        assert inverted[0].level is LintLevel.ERROR
+        assert "10.0.0.255" in inverted[0].detail
 
     def test_issue_str(self):
         database = WhoisDatabase(RIR.RIPE)

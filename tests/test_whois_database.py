@@ -96,7 +96,11 @@ class TestRoundTrip:
                 range=AddressRange.parse("192.0.2.0/24"),
                 status=_portable_status(rir),
                 org_id="ORG-1",
-                maintainers=("ORG-1",) if rir in (RIR.ARIN, RIR.LACNIC) else ("EX-MNT",),
+                maintainers=(
+                    ("ORG-1",)
+                    if rir in (RIR.ARIN, RIR.LACNIC)
+                    else ("EX-MNT",)
+                ),
                 net_name="EX-NET",
             )
         )

@@ -179,7 +179,10 @@ class TestNormalization:
 
     def test_comma_separated_maintainers(self):
         obj = next(
-            parse_rpsl("inetnum: 10.0.0.0/24\nstatus: ASSIGNED PA\nmnt-by: A-MNT, B-MNT\n")
+            parse_rpsl(
+                "inetnum: 10.0.0.0/24\nstatus: ASSIGNED PA\n"
+                "mnt-by: A-MNT, B-MNT\n"
+            )
         )
         record = normalize_rpsl_object(RIR.RIPE, obj)
         assert record.maintainers == ("A-MNT", "B-MNT")
