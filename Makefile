@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint docs bench report data clean
+.PHONY: install test coverage lint docs bench bench-pipeline report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
 
 test:
 	$(PYTHON) -m pytest tests/
+
+coverage:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ --cov=repro --cov-report=term --cov-fail-under=90
 
 lint:
 	$(PYTHON) scripts/lint.py
@@ -18,6 +21,9 @@ docs:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-pipeline:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --out BENCH_pipeline.json
 
 report:
 	$(PYTHON) -m repro.cli report --out REPORT.md

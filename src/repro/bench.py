@@ -1,0 +1,359 @@
+"""Pipeline benchmark harness: the perf trajectory behind BENCH_pipeline.json.
+
+Times the three stages of a full reproduction run — world generation,
+tree build, classification — for every engine mode (the frozen
+reference engine, the fast serial engine, and each requested parallel
+worker count) over synthetic worlds of increasing size, and writes the
+results as ``BENCH_pipeline.json`` so every future PR has a number to
+beat.  Every mode's output is digested and checked equivalent to the
+reference engine's; a benchmark that produces different classifications
+reports ``"equivalent": false`` and exits non-zero.
+
+Methodology notes (they matter on small machines):
+
+* Each mode runs on a **fresh pipeline** instance.  Keeping a previous
+  engine's allocation trees alive inflates fork copy-on-write costs for
+  the parallel modes and would charge one mode for another's garbage.
+* Results are digested and dropped immediately, and ``gc.collect()``
+  runs between repeats, for the same reason.
+* Wall times are best-of-``repeats``; throughput is classifiable
+  leaves per second of full run (tree build + classify).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .core import LeaseInferencePipeline
+from .core.results import InferenceResult
+from .core.sharding import DEFAULT_SHARD_SIZE
+from .simulation import BENCH_SIZES, bench_world, build_world
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_WORKER_COUNTS",
+    "run_benchmark",
+    "write_benchmark",
+    "schema_shape",
+]
+
+SCHEMA_VERSION = 1
+
+#: Parallel modes measured by default.
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (2, 4)
+
+#: A digest of one result: enough to prove equivalence, small enough to
+#: keep alive across modes without distorting fork costs.
+_Digest = List[Tuple[str, int, int, str]]
+
+
+def _digest(result: InferenceResult) -> _Digest:
+    return [
+        (
+            inference.rir.name,
+            inference.prefix.network,
+            inference.prefix.length,
+            inference.category.name,
+        )
+        for inference in result
+    ]
+
+
+def _bench_shard_size(leaves: int, workers: int) -> Optional[int]:
+    """A shard size that actually exercises the pool on any world.
+
+    Worlds larger than two default shards use the production default
+    (``None``); smaller worlds get a size that still yields several
+    shards per worker, so even the CI smoke run covers the fork path.
+    """
+    if leaves > 2 * DEFAULT_SHARD_SIZE:
+        return None
+    return max(16, leaves // (workers * 4) or 16)
+
+
+def _time_mode(
+    make_pipeline: Callable[[], LeaseInferencePipeline],
+    run: Callable[[LeaseInferencePipeline], InferenceResult],
+    repeats: int,
+) -> Tuple[float, Dict[str, float], _Digest, Optional[Dict[str, object]]]:
+    """Best wall time, its stage split, the digest, and cache stats."""
+    best_wall: Optional[float] = None
+    best_stages: Dict[str, float] = {}
+    digest: _Digest = []
+    cache: Optional[Dict[str, object]] = None
+    for _ in range(max(1, repeats)):
+        pipeline = make_pipeline()
+        gc.collect()
+        started = time.perf_counter()
+        result = run(pipeline)
+        wall = time.perf_counter() - started
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            best_stages = dict(pipeline.timings)
+            digest = _digest(result)
+            try:
+                cache = pipeline.cache_stats().as_dict()
+            except RuntimeError:
+                cache = None
+        del result, pipeline
+    assert best_wall is not None
+    return best_wall, best_stages, digest, cache
+
+
+def run_benchmark(
+    sizes: Optional[Sequence[str]] = None,
+    worker_counts: Iterable[int] = DEFAULT_WORKER_COUNTS,
+    repeats: int = 2,
+    seed: int = 20240401,
+    quick: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run the harness and return the ``BENCH_pipeline.json`` payload.
+
+    ``quick`` is the CI smoke configuration: the small world only, one
+    parallel mode, one repeat — seconds, not minutes.
+    """
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    if quick:
+        sizes = ["small"]
+        worker_counts = (2,)
+        repeats = 1
+    sizes = list(sizes) if sizes is not None else list(BENCH_SIZES)
+    worker_list = sorted(set(int(w) for w in worker_counts if int(w) > 1))
+
+    worlds: List[Dict[str, object]] = []
+    for size in sizes:
+        say(f"[bench] building {size} world (seed {seed}) ...")
+        started = time.perf_counter()
+        world = build_world(bench_world(size, seed=seed))
+        generate_s = time.perf_counter() - started
+
+        def make_pipeline() -> LeaseInferencePipeline:
+            return LeaseInferencePipeline(
+                world.whois,
+                world.routing_table,
+                world.relationships,
+                world.as2org,
+            )
+
+        say(f"[bench] {size}: generate {generate_s:.2f}s; reference run ...")
+        ref_wall, ref_stages, ref_digest, _ = _time_mode(
+            make_pipeline, lambda p: p.run_reference(), repeats
+        )
+        leaves = len(ref_digest)
+
+        modes: List[Dict[str, object]] = [
+            _mode_payload(
+                "reference",
+                workers=1,
+                shard_size=None,
+                wall=ref_wall,
+                stages=ref_stages,
+                leaves=leaves,
+                ref_wall=ref_wall,
+                serial_wall=None,
+                cache=None,
+                equivalent=True,
+            )
+        ]
+
+        say(f"[bench] {size}: {leaves} leaves; serial run ...")
+        serial_wall, serial_stages, serial_digest, serial_cache = _time_mode(
+            make_pipeline, lambda p: p.run(workers=1), repeats
+        )
+        modes.append(
+            _mode_payload(
+                "serial",
+                workers=1,
+                shard_size=None,
+                wall=serial_wall,
+                stages=serial_stages,
+                leaves=leaves,
+                ref_wall=ref_wall,
+                serial_wall=serial_wall,
+                cache=serial_cache,
+                equivalent=serial_digest == ref_digest,
+            )
+        )
+
+        for workers in worker_list:
+            shard_size = _bench_shard_size(leaves, workers)
+            say(f"[bench] {size}: parallel-{workers} run ...")
+            wall, stages, digest, cache = _time_mode(
+                make_pipeline,
+                lambda p, w=workers, s=shard_size: p.run(
+                    workers=w, shard_size=s
+                ),
+                repeats,
+            )
+            modes.append(
+                _mode_payload(
+                    f"parallel-{workers}",
+                    workers=workers,
+                    shard_size=shard_size or DEFAULT_SHARD_SIZE,
+                    wall=wall,
+                    stages=stages,
+                    leaves=leaves,
+                    ref_wall=ref_wall,
+                    serial_wall=serial_wall,
+                    cache=cache,
+                    equivalent=digest == ref_digest,
+                )
+            )
+
+        worlds.append(
+            {
+                "size": size,
+                "seed": seed,
+                "classifiable_leaves": leaves,
+                "routed_prefixes": world.routing_table.num_prefixes(),
+                "stages": {"generate_s": round(generate_s, 4)},
+                "modes": modes,
+            }
+        )
+        del make_pipeline, world
+        gc.collect()
+
+    return {
+        "schema": {"name": "BENCH_pipeline", "version": SCHEMA_VERSION},
+        "config": {
+            "seed": seed,
+            "sizes": sizes,
+            "workers": worker_list,
+            "repeats": max(1, repeats),
+            "quick": quick,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": _cpu_count(),
+        },
+        "worlds": worlds,
+    }
+
+
+def _mode_payload(
+    mode: str,
+    workers: int,
+    shard_size: Optional[int],
+    wall: float,
+    stages: Dict[str, float],
+    leaves: int,
+    ref_wall: float,
+    serial_wall: Optional[float],
+    cache: Optional[Dict[str, object]],
+    equivalent: bool,
+) -> Dict[str, object]:
+    return {
+        "mode": mode,
+        "workers": workers,
+        "shard_size": shard_size,
+        "wall_s": round(wall, 4),
+        "leaves_per_s": round(leaves / wall, 1) if wall else 0.0,
+        "speedup_vs_reference": round(ref_wall / wall, 2) if wall else 0.0,
+        "speedup_vs_serial": (
+            round(serial_wall / wall, 2)
+            if serial_wall is not None and wall
+            else None
+        ),
+        "stages": {name: round(value, 4) for name, value in stages.items()},
+        "cache": cache,
+        "equivalent": equivalent,
+    }
+
+
+def _cpu_count() -> int:
+    try:
+        import os
+
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        import os
+
+        return os.cpu_count() or 1
+
+
+def all_equivalent(report: Dict[str, object]) -> bool:
+    """True when every mode of every world matched the reference."""
+    return all(
+        bool(mode["equivalent"])
+        for world in report["worlds"]  # type: ignore[union-attr]
+        for mode in world["modes"]  # type: ignore[index]
+    )
+
+
+def write_benchmark(report: Dict[str, object], path: Path) -> None:
+    """Write the payload as pretty, key-stable JSON."""
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def schema_shape(value: object) -> object:
+    """The payload with every number replaced by its type name.
+
+    Two runs of the same configuration must produce identical shapes —
+    that is the schema-determinism contract the tests pin (timings and
+    throughputs differ run to run; keys, modes, and orderings may not).
+    """
+    if isinstance(value, dict):
+        return {key: schema_shape(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [schema_shape(item) for item in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return type(value).__name__
+    return value
+
+
+def run_from_args(args) -> int:
+    """CLI entry: ``repro bench``."""
+    from .reporting import render_bench_report
+
+    sizes = None
+    if getattr(args, "sizes", None):
+        sizes = [size.strip() for size in args.sizes.split(",") if size.strip()]
+        unknown = [size for size in sizes if size not in BENCH_SIZES]
+        if unknown:
+            print(f"unknown bench sizes: {', '.join(unknown)} "
+                  f"(expected {', '.join(BENCH_SIZES)})")
+            return 2
+    workers = DEFAULT_WORKER_COUNTS
+    if getattr(args, "workers", None):
+        try:
+            workers = tuple(
+                int(w) for w in str(args.workers).split(",") if w.strip()
+            )
+        except ValueError:
+            print(f"bad --workers {args.workers!r}; expected e.g. 2,4")
+            return 2
+    report = run_benchmark(
+        sizes=sizes,
+        worker_counts=workers,
+        repeats=args.repeats,
+        seed=args.seed,
+        quick=args.quick,
+        log=print,
+    )
+    write_benchmark(report, args.out)
+    print(render_bench_report(report))
+    print(f"wrote {args.out}")
+    if not all_equivalent(report):
+        print("FAIL: a mode diverged from the reference engine")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    from .cli import main
+
+    sys.exit(main(["bench"] + sys.argv[1:]))

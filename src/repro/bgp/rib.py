@@ -11,7 +11,19 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from types import MappingProxyType
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..net import Prefix, PrefixTrie
 from .aspath import ASPath
@@ -40,6 +52,10 @@ class RoutingTable:
 
     def __init__(self) -> None:
         self._trie: PrefixTrie[Set[int]] = PrefixTrie()
+        # Native hash index over the same origin sets the trie stores;
+        # exact-match lookups (one per allocation-tree leaf) skip the
+        # per-bit trie walk entirely.
+        self._exact: Dict[Prefix, Set[int]] = {}
         self._origin_prefixes: Dict[int, Set[Prefix]] = defaultdict(set)
         self._entry_count = 0
 
@@ -54,10 +70,11 @@ class RoutingTable:
 
     def add_route(self, prefix: Prefix, origin: int) -> None:
         """Record that *origin* was seen originating *prefix*."""
-        origins = self._trie.exact(prefix)
+        origins = self._exact.get(prefix)
         if origins is None:
             origins = set()
             self._trie.insert(prefix, origins)
+            self._exact[prefix] = origins
         origins.add(origin)
         self._origin_prefixes[origin].add(prefix)
         self._entry_count += 1
@@ -68,14 +85,42 @@ class RoutingTable:
             for origin in origins:
                 self.add_route(prefix, origin)
 
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove every route for *prefix* (all origins, all indexes).
+
+        Returns True when the prefix was advertised.  This is the only
+        supported way to retract a route — it keeps the trie, the exact
+        index, and the per-origin sets consistent.
+        """
+        origins = self._exact.pop(prefix, None)
+        if origins is None:
+            return False
+        self._trie.remove(prefix)
+        for origin in origins:
+            prefixes = self._origin_prefixes.get(origin)
+            if prefixes is not None:
+                prefixes.discard(prefix)
+                if not prefixes:
+                    del self._origin_prefixes[origin]
+        self._entry_count = max(0, self._entry_count - len(origins))
+        return True
+
     # -- §5.1 step 4 lookups ------------------------------------------------
     def exact_origins(self, prefix: Prefix) -> FrozenSet[int]:
         """Origins of the exact-matching prefix (empty when absent).
 
         This is the lookup applied to allocation-tree leaf nodes.
         """
-        origins = self._trie.exact(prefix)
+        origins = self._exact.get(prefix)
         return frozenset(origins) if origins else frozenset()
+
+    def exact_index(self) -> Mapping[Prefix, AbstractSet[int]]:
+        """Read-only live view of the exact prefix → origins index.
+
+        Hot paths (the sharded classifier) use this to resolve leaf
+        origins with one dict probe instead of a trie walk.
+        """
+        return MappingProxyType(self._exact)
 
     def covering_origins(self, prefix: Prefix) -> FrozenSet[int]:
         """Origins via exact match, else the least-specific covering prefix.
@@ -84,7 +129,7 @@ class RoutingTable:
         exact-matching prefix does not exist, we then search for its
         least-specific covering prefix and origin AS".
         """
-        exact = self._trie.exact(prefix)
+        exact = self._exact.get(prefix)
         if exact:
             return frozenset(exact)
         hit = self._trie.least_specific_match(prefix)
@@ -97,7 +142,7 @@ class RoutingTable:
 
     def is_advertised(self, prefix: Prefix) -> bool:
         """True when the exact prefix appears in the table."""
-        return bool(self._trie.exact(prefix))
+        return bool(self._exact.get(prefix))
 
     def covered_prefixes(self, prefix: Prefix) -> List[Prefix]:
         """Advertised prefixes at or below *prefix* (exact included)."""

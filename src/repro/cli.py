@@ -68,6 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timeline": _cmd_timeline,
         "run-all": _cmd_run_all,
         "report": _cmd_report,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 
@@ -110,6 +111,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="validate cross-dataset consistency before writing",
     )
 
+    def add_worker_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="classify shards across this many processes (default 1)",
+        )
+        p.add_argument(
+            "--shard-size",
+            type=int,
+            default=None,
+            help="leaves per shard (default: pipeline default)",
+        )
+
     for name, helptext in (
         ("infer", "run lease inference and print Table 1"),
         ("evaluate", "curate the reference dataset and print Table 2"),
@@ -125,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--strict",
                 action="store_true",
                 help="run diagnostics first and abort on errors",
+            )
+            add_worker_options(command)
+        if name in ("infer", "evaluate"):
+            command.add_argument(
+                "--json",
+                action="store_true",
+                help="print the table as JSON (golden-regression format)",
             )
 
     lint = sub.add_parser(
@@ -173,10 +195,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "run-all", help="generate in memory and print every table"
     )
     add_scenario_options(run_all)
+    add_worker_options(run_all)
     run_all.add_argument(
         "--strict",
         action="store_true",
         help="run diagnostics first and abort on errors",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="time the inference engines and write BENCH_pipeline.json"
+    )
+    bench.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_pipeline.json"),
+        help="output path (default BENCH_pipeline.json)",
+    )
+    bench.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated world sizes (default small,medium,large)",
+    )
+    bench.add_argument(
+        "--workers",
+        default=None,
+        help="comma-separated parallel worker counts (default 2,4)",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="repeats per mode, best wall time wins (default 2)",
+    )
+    bench.add_argument("--seed", type=int, default=20240401)
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: small world, one parallel mode, one repeat",
     )
 
     report = sub.add_parser(
@@ -221,12 +276,14 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _infer_bundle(bundle: DatasetBundle):
+def _infer_bundle(bundle: DatasetBundle, args: Optional[argparse.Namespace] = None):
     return infer_leases(
         bundle.whois,
         bundle.routing_table,
         bundle.relationships,
         bundle.as2org,
+        workers=getattr(args, "workers", 1) if args is not None else 1,
+        shard_size=getattr(args, "shard_size", None) if args is not None else None,
     )
 
 
@@ -237,14 +294,25 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
         if _strict_gate(DiagnosticContext.from_bundle(bundle)):
             return 1
-    result = _infer_bundle(bundle)
-    print(render_table1(result, bundle.routing_table.num_prefixes()))
+    result = _infer_bundle(bundle, args)
+    if getattr(args, "json", False):
+        import json
+
+        from .reporting import table1_json
+
+        print(json.dumps(
+            table1_json(result, bundle.routing_table.num_prefixes()),
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(render_table1(result, bundle.routing_table.num_prefixes()))
     return 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     bundle = load_datasets(args.data)
-    result = _infer_bundle(bundle)
+    result = _infer_bundle(bundle, args)
     reference = curate_reference(
         bundle.whois,
         bundle.broker_registry,
@@ -253,12 +321,25 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         negative_isp_org_ids=bundle.negative_isp_org_ids,
     )
     report = evaluate_inference(result, reference)
-    print(render_table2(report.matrix))
-    print(
-        f"\nFalse negatives: {report.fn_unused} inactive (Unused), "
-        f"{report.fn_invisible} outside the tree (legacy)"
-    )
+    if getattr(args, "json", False):
+        import json
+
+        from .reporting import table2_json
+
+        print(json.dumps(table2_json(report), indent=2, sort_keys=True))
+    else:
+        print(render_table2(report.matrix))
+        print(
+            f"\nFalse negatives: {report.fn_unused} inactive (Unused), "
+            f"{report.fn_invisible} outside the tree (legacy)"
+        )
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_from_args
+
+    return run_from_args(args)
 
 
 def _cmd_holders(args: argparse.Namespace) -> int:
@@ -452,7 +533,12 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         if _strict_gate(DiagnosticContext.from_world(world)):
             return 1
     result = infer_leases(
-        world.whois, world.routing_table, world.relationships, world.as2org
+        world.whois,
+        world.routing_table,
+        world.relationships,
+        world.as2org,
+        workers=getattr(args, "workers", 1),
+        shard_size=getattr(args, "shard_size", None),
     )
     print(render_table1(result, world.routing_table.num_prefixes()))
     print()

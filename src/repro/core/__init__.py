@@ -20,11 +20,12 @@ from .abuse import (
 )
 from .allocation_tree import (
     DEFAULT_MAX_LEAF_LENGTH,
+    AllocationScan,
     AllocationTree,
     TreeLeaf,
 )
 from .baseline import maintainer_baseline
-from .classify import Category, classify_leaf
+from .classify import Category, MemoizedClassifier, classify_leaf
 from .ecosystem import (
     HijackerOverlap,
     hijacker_overlap,
@@ -50,8 +51,17 @@ from .rpki_analysis import ValidationProfile, validation_profile
 from .stats import BootstrapCI, risk_ratio_ci, share_ci
 from .pipeline import LeaseInferencePipeline, infer_leases
 from .reference import ReferenceDataset, curate_reference
-from .relatedness import RelatednessOracle
+from .relatedness import MemoizedRelatednessOracle, RelatednessOracle
 from .results import InferenceResult, LeafInference, RegionalTally
+from .sharding import (
+    DEFAULT_SHARD_SIZE,
+    CacheStats,
+    Shard,
+    ShardClassifier,
+    WorkUnit,
+    effective_workers,
+    plan_shards,
+)
 from .timeline import (
     BgpOriginHistory,
     PeriodKind,
@@ -63,8 +73,18 @@ from .timeline import (
 __all__ = [
     "AlarmAttribution",
     "AlarmReport",
+    "AllocationScan",
     "AllocationTree",
     "BgpOriginHistory",
+    "CacheStats",
+    "DEFAULT_SHARD_SIZE",
+    "MemoizedClassifier",
+    "MemoizedRelatednessOracle",
+    "Shard",
+    "ShardClassifier",
+    "WorkUnit",
+    "effective_workers",
+    "plan_shards",
     "BootstrapCI",
     "GeoConsistency",
     "HolderProfile",

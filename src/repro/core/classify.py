@@ -16,11 +16,11 @@ one of six categories spanning the paper's four groups:
 from __future__ import annotations
 
 import enum
-from typing import AbstractSet
+from typing import AbstractSet, Dict, FrozenSet, Tuple
 
 from .relatedness import RelatednessOracle
 
-__all__ = ["Category", "classify_leaf"]
+__all__ = ["Category", "classify_leaf", "MemoizedClassifier"]
 
 
 class Category(enum.Enum):
@@ -58,3 +58,42 @@ def classify_leaf(
     if oracle.any_related(leaf_origins, related_targets):
         return Category.DELEGATED_CUSTOMER
     return Category.LEASED_GROUP4
+
+
+_ClassifyKey = Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
+
+
+class MemoizedClassifier:
+    """Memoized §5.2 classification over one oracle.
+
+    The category is a pure function of the ``(leaf origins, root
+    origins, root assigned ASNs)`` triple, and real registries repeat the
+    same triple across thousands of sibling leaves (every leaf of one
+    hoster under one root, say).  One instance per shard keeps the cache
+    process-local and its counters mergeable.
+    """
+
+    def __init__(self, oracle: RelatednessOracle) -> None:
+        self.oracle = oracle
+        self._cache: Dict[_ClassifyKey, Category] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def classify(
+        self,
+        leaf_origins: FrozenSet[int],
+        root_origins: FrozenSet[int],
+        root_assigned_asns: FrozenSet[int],
+    ) -> Category:
+        """Cached :func:`classify_leaf`."""
+        key = (leaf_origins, root_origins, root_assigned_asns)
+        category = self._cache.get(key)
+        if category is None:
+            self.misses += 1
+            category = classify_leaf(
+                leaf_origins, root_origins, root_assigned_asns, self.oracle
+            )
+            self._cache[key] = category
+        else:
+            self.hits += 1
+        return category

@@ -3,21 +3,44 @@
 The pipeline ties the substrates together: per registry it builds the
 allocation tree, resolves root-organisation ASNs, looks up BGP origins,
 and classifies every non-portable leaf.
+
+Two engines produce bit-for-bit identical results:
+
+* :meth:`LeaseInferencePipeline.run` — the fast path: sort-based tree
+  construction (:class:`~repro.core.allocation_tree.AllocationScan`),
+  memoized per-shard lookups, and optional process-parallel sharding
+  via ``workers``/``shard_size``.
+* :meth:`LeaseInferencePipeline.run_reference` — the straight-line
+  per-leaf loop over :class:`AllocationTree`, kept as the executable
+  specification the fast path is tested (and benchmarked) against.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Union
+import time
+from typing import Dict, FrozenSet, Iterable, List, Optional, Union
 
 from ..asdata.as2org import AS2Org
 from ..asdata.relationships import ASRelationships
 from ..bgp.rib import RoutingTable
 from ..rir import RIR
 from ..whois.database import WhoisCollection, WhoisDatabase
-from .allocation_tree import DEFAULT_MAX_LEAF_LENGTH, AllocationTree, TreeLeaf
-from .classify import classify_leaf
+from .allocation_tree import (
+    DEFAULT_MAX_LEAF_LENGTH,
+    AllocationScan,
+    AllocationTree,
+    TreeLeaf,
+)
+from .classify import Category, classify_leaf
 from .relatedness import RelatednessOracle
 from .results import InferenceResult, LeafInference
+from .sharding import (
+    CacheStats,
+    ShardClassifier,
+    WorkUnit,
+    effective_workers,
+    run_sharded,
+)
 
 __all__ = ["LeaseInferencePipeline", "infer_leases"]
 
@@ -33,6 +56,8 @@ class LeaseInferencePipeline:
         as2org: Optional[AS2Org] = None,
         max_leaf_length: int = DEFAULT_MAX_LEAF_LENGTH,
         use_covering_root_lookup: bool = True,
+        workers: int = 1,
+        shard_size: Optional[int] = None,
     ) -> None:
         if isinstance(whois, WhoisDatabase):
             collection = WhoisCollection({whois.rir: whois})
@@ -43,39 +68,200 @@ class LeaseInferencePipeline:
         self.oracle = RelatednessOracle(relationships, as2org)
         self.max_leaf_length = max_leaf_length
         self.use_covering_root_lookup = use_covering_root_lookup
+        self.workers = workers
+        self.shard_size = shard_size
         self.trees: Dict[RIR, AllocationTree] = {}
+        #: Wall-clock stage breakdown of the last run, seconds.
+        self.timings: Dict[str, float] = {}
+        self._stats: Optional[Dict[RIR, Dict[str, int]]] = None
+        self._cache_stats: Optional[CacheStats] = None
 
-    def run(self, rirs: Optional[Iterable[RIR]] = None) -> InferenceResult:
-        """Classify every leaf in the selected registries (default: all)."""
+    # -- fast engine -----------------------------------------------------
+    def run(
+        self,
+        rirs: Optional[Iterable[RIR]] = None,
+        workers: Optional[int] = None,
+        shard_size: Optional[int] = None,
+    ) -> InferenceResult:
+        """Classify every leaf in the selected registries (default: all).
+
+        ``workers`` > 1 classifies shards across a fork-based process
+        pool; small inputs (at most one shard) and fork-less platforms
+        fall back to the identical serial path.  Output is bit-for-bit
+        equal to :meth:`run_reference` in every mode.
+        """
+        workers = self.workers if workers is None else workers
+        shard_size = self.shard_size if shard_size is None else shard_size
         result = InferenceResult()
+        stats: Dict[RIR, Dict[str, int]] = {}
+
+        tree_started = time.perf_counter()
+        work: List[WorkUnit] = []
         for rir in rirs if rirs is not None else list(RIR):
             database = self.whois[rir]
             if not database.inetnums:
                 continue
-            tree = AllocationTree(database, self.max_leaf_length)
-            self.trees[rir] = tree
-            for leaf in tree.classifiable_leaves():
-                result.add(self._infer_leaf(rir, database, leaf))
+            scan = AllocationScan(database, self.max_leaf_length)
+            stats[rir] = scan.stats()
+            work.append(WorkUnit(rir, database, scan.classifiable_leaves()))
+        tree_elapsed = time.perf_counter() - tree_started
+
+        classify_started = time.perf_counter()
+        total = sum(len(unit.leaves) for unit in work)
+        pool_size = effective_workers(workers, total, shard_size)
+        cache_stats = CacheStats()
+        if pool_size <= 1:
+            for unit in work:
+                classifier = ShardClassifier(
+                    unit.database,
+                    self.routing_table,
+                    self.oracle,
+                    self.use_covering_root_lookup,
+                )
+                for leaf in unit.leaves:
+                    category, leaf_origins, root_origins, assigned = (
+                        classifier.classify(leaf)
+                    )
+                    result.add(
+                        self._make_inference(
+                            unit.rir,
+                            leaf,
+                            category,
+                            leaf_origins,
+                            root_origins,
+                            assigned,
+                        )
+                    )
+                cache_stats.merge(classifier.stats())
+        else:
+            shards, outputs = run_sharded(
+                work,
+                self.routing_table,
+                self.oracle,
+                self.use_covering_root_lookup,
+                pool_size,
+                shard_size,
+            )
+            for shard, (rows, shard_stats) in zip(shards, outputs):
+                unit = work[shard.work_index]
+                leaves = unit.leaves[shard.start : shard.stop]
+                for leaf, (name, leaf_origins, root_origins, assigned) in zip(
+                    leaves, rows
+                ):
+                    result.add(
+                        self._make_inference(
+                            unit.rir,
+                            leaf,
+                            Category[name],
+                            frozenset(leaf_origins),
+                            frozenset(root_origins),
+                            frozenset(assigned),
+                        )
+                    )
+                cache_stats.merge(shard_stats)
+
+        self._stats = stats
+        self._cache_stats = cache_stats
+        self.timings = {
+            "tree_build_s": tree_elapsed,
+            "classify_s": time.perf_counter() - classify_started,
+        }
         return result
 
+    @staticmethod
+    def _make_inference(
+        rir: RIR,
+        leaf: TreeLeaf,
+        category: Category,
+        leaf_origins: FrozenSet[int],
+        root_origins: FrozenSet[int],
+        root_assigned: FrozenSet[int],
+    ) -> LeafInference:
+        return LeafInference(
+            rir=rir,
+            prefix=leaf.prefix,
+            category=category,
+            record=leaf.record,
+            root_prefix=leaf.root_prefix,
+            root_record=leaf.root_record,
+            leaf_origins=leaf_origins,
+            root_origins=root_origins,
+            root_assigned_asns=root_assigned,
+        )
+
+    # -- reference engine ------------------------------------------------
+    def run_reference(
+        self, rirs: Optional[Iterable[RIR]] = None
+    ) -> InferenceResult:
+        """The original straight-line engine: trie tree, per-leaf lookups.
+
+        Kept unoptimized on purpose — it is the executable specification
+        the fast engine's equivalence tests diff against, and the
+        benchmark harness's speedup baseline.
+        """
+        result = InferenceResult()
+        stats: Dict[RIR, Dict[str, int]] = {}
+        tree_elapsed = 0.0
+        classify_elapsed = 0.0
+        for rir in rirs if rirs is not None else list(RIR):
+            database = self.whois[rir]
+            if not database.inetnums:
+                continue
+            started = time.perf_counter()
+            tree = AllocationTree(database, self.max_leaf_length)
+            leaves = tree.classifiable_leaves()
+            tree_elapsed += time.perf_counter() - started
+            self.trees[rir] = tree
+            stats[rir] = {
+                "nodes": len(tree),
+                "roots": len(tree.roots()),
+                "leaves": len(tree.leaves()),
+                "classifiable": len(leaves),
+                "hyper_specific_dropped": tree.hyper_specific_dropped,
+                "legacy_dropped": tree.legacy_dropped,
+            }
+            started = time.perf_counter()
+            for leaf in leaves:
+                result.add(self._infer_leaf(rir, database, leaf))
+            classify_elapsed += time.perf_counter() - started
+        self._stats = stats
+        self.timings = {
+            "tree_build_s": tree_elapsed,
+            "classify_s": classify_elapsed,
+        }
+        return result
+
+    # -- diagnostics -----------------------------------------------------
     def stats(self) -> Dict[RIR, Dict[str, int]]:
-        """Per-region tree diagnostics from the last :meth:`run`.
+        """Per-region tree diagnostics from the last run.
 
         Keys per region: ``nodes`` (tree entries), ``roots``, ``leaves``,
         ``classifiable`` (non-portable leaves under a root),
         ``hyper_specific_dropped``, and ``legacy_dropped``.
+
+        Raises :class:`RuntimeError` before the first run — there is no
+        tree to report on yet, and silently returning ``{}`` used to
+        mask exactly that mistake.
         """
-        diagnostics: Dict[RIR, Dict[str, int]] = {}
-        for rir, tree in self.trees.items():
-            diagnostics[rir] = {
-                "nodes": len(tree),
-                "roots": len(tree.roots()),
-                "leaves": len(tree.leaves()),
-                "classifiable": len(tree.classifiable_leaves()),
-                "hyper_specific_dropped": tree.hyper_specific_dropped,
-                "legacy_dropped": tree.legacy_dropped,
-            }
-        return diagnostics
+        if self._stats is None:
+            raise RuntimeError(
+                "LeaseInferencePipeline.stats() called before run(); "
+                "call run() or run_reference() first"
+            )
+        return {rir: dict(counters) for rir, counters in self._stats.items()}
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated per-shard cache counters from the last :meth:`run`.
+
+        Raises :class:`RuntimeError` before the first :meth:`run` (the
+        reference engine uses no caches, so it never populates these).
+        """
+        if self._cache_stats is None:
+            raise RuntimeError(
+                "LeaseInferencePipeline.cache_stats() requires a prior "
+                "run() — the reference engine does not use the caches"
+            )
+        return self._cache_stats
 
     def _infer_leaf(
         self, rir: RIR, database: WhoisDatabase, leaf: TreeLeaf
@@ -124,8 +310,15 @@ def infer_leases(
     routing_table: RoutingTable,
     relationships: ASRelationships,
     as2org: Optional[AS2Org] = None,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
 ) -> InferenceResult:
     """One-call convenience wrapper around the pipeline."""
     return LeaseInferencePipeline(
-        whois, routing_table, relationships, as2org
+        whois,
+        routing_table,
+        relationships,
+        as2org,
+        workers=workers,
+        shard_size=shard_size,
     ).run()

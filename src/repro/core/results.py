@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..net import Prefix
 from ..rir import ALL_RIRS, RIR
@@ -96,11 +96,44 @@ class InferenceResult:
         self._tallies[inference.rir].add(inference.category)
         self._by_prefix[inference.prefix] = inference
 
+    @classmethod
+    def from_inferences(
+        cls, inferences: Iterable[LeafInference]
+    ) -> "InferenceResult":
+        """A result holding *inferences*, in iteration order."""
+        result = cls()
+        for inference in inferences:
+            result.add(inference)
+        return result
+
+    def merge(self, other: "InferenceResult") -> "InferenceResult":
+        """Fold another result's verdicts into this one (returns self).
+
+        Equality between results is order-independent, so shard results
+        can be merged in any order without changing the outcome.
+        """
+        for inference in other._inferences:
+            self.add(inference)
+        return self
+
     def __len__(self) -> int:
         return len(self._inferences)
 
     def __iter__(self) -> Iterator[LeafInference]:
         return iter(self._inferences)
+
+    def __eq__(self, other: object) -> bool:
+        """Same verdicts, regardless of insertion order."""
+        if not isinstance(other, InferenceResult):
+            return NotImplemented
+        if len(self._inferences) != len(other._inferences):
+            return False
+        return self._canonical() == other._canonical()
+
+    def _canonical(self) -> List[LeafInference]:
+        return sorted(
+            self._inferences, key=lambda inf: (inf.rir.name, inf.prefix)
+        )
 
     # -- lookups ---------------------------------------------------------
     def lookup(self, prefix: Prefix) -> Optional[LeafInference]:

@@ -1,0 +1,325 @@
+"""Sharded, process-parallel leaf classification.
+
+The §5 pipeline is embarrassingly parallel across leaves: every verdict
+depends only on the leaf, its root, and the (read-only) BGP/AS-data
+substrates.  This module partitions each region's classifiable leaves
+into shards, classifies shards across a ``ProcessPoolExecutor`` (fork
+start method — workers inherit the substrates, nothing is pickled in),
+and returns compact rows the pipeline reassembles into
+:class:`~repro.core.results.LeafInference` objects bit-for-bit equal to
+the serial output.
+
+Each shard owns a :class:`ShardClassifier`: the memoized hot-path state
+(exact-origin index probes, covering-root resolution cached per root,
+assigned-ASN sets cached per organisation, category cache per origin
+triple, relatedness cache per AS pair).  Caches are pure memoization —
+they can never change a verdict, only the :class:`CacheStats` counters.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..bgp.rib import RoutingTable
+from ..net import Prefix
+from ..rir import RIR
+from ..whois.database import WhoisDatabase
+from .allocation_tree import TreeLeaf
+from .classify import Category, MemoizedClassifier
+from .relatedness import MemoizedRelatednessOracle, RelatednessOracle
+
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "CacheStats",
+    "Shard",
+    "ShardClassifier",
+    "WorkUnit",
+    "plan_shards",
+    "effective_workers",
+    "run_sharded",
+]
+
+#: Leaves per shard when ``--shard-size`` is not given.  Small enough to
+#: balance five unevenly sized regions across four workers, large enough
+#: that per-shard cache warm-up stays negligible.
+DEFAULT_SHARD_SIZE = 2048
+
+_EMPTY: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class CacheStats:
+    """Mergeable hit/miss counters for the per-shard caches."""
+
+    relatedness_hits: int = 0
+    relatedness_misses: int = 0
+    category_hits: int = 0
+    category_misses: int = 0
+    root_origin_hits: int = 0
+    root_origin_misses: int = 0
+    assigned_hits: int = 0
+    assigned_misses: int = 0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Fold another shard's counters into this one."""
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def hit_rates(self) -> Dict[str, float]:
+        """Per-cache hit rates in [0, 1]."""
+        return {
+            "relatedness": self._rate(
+                self.relatedness_hits, self.relatedness_misses
+            ),
+            "category": self._rate(self.category_hits, self.category_misses),
+            "root_origin": self._rate(
+                self.root_origin_hits, self.root_origin_misses
+            ),
+            "assigned": self._rate(self.assigned_hits, self.assigned_misses),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        """Counters plus hit rates, for reports and ``BENCH_*.json``."""
+        payload: Dict[str, object] = {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+        payload["hit_rates"] = {
+            name: round(rate, 4) for name, rate in self.hit_rates().items()
+        }
+        return payload
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One region's classification input: its leaves plus its database."""
+
+    rir: RIR
+    database: WhoisDatabase
+    leaves: Sequence[TreeLeaf]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous slice of one work unit's leaves."""
+
+    work_index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+#: What a worker sends back per leaf: the category name plus the three
+#: origin sets as sorted tuples.  Records and prefixes stay in the
+#: parent (inherited via fork), so IPC moves only small immutables.
+_Row = Tuple[str, Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+
+
+class ShardClassifier:
+    """Per-shard memoized classification state.
+
+    Resolution per leaf mirrors ``LeaseInferencePipeline`` exactly:
+    exact origins for the leaf, exact-then-covering (or exact-only, when
+    the ablation flag is off) for the root, RIR-assigned ASNs of the
+    root organisation, then the §5.2 decision procedure.
+    """
+
+    def __init__(
+        self,
+        database: WhoisDatabase,
+        routing_table: RoutingTable,
+        oracle: RelatednessOracle,
+        use_covering_root_lookup: bool = True,
+    ) -> None:
+        self._database = database
+        self._routing_table = routing_table
+        self._exact = routing_table.exact_index()
+        self._use_covering = use_covering_root_lookup
+        self._oracle = MemoizedRelatednessOracle.wrapping(oracle)
+        self._classifier = MemoizedClassifier(self._oracle)
+        self._root_origins: Dict[Prefix, FrozenSet[int]] = {}
+        self._assigned: Dict[Optional[str], FrozenSet[int]] = {}
+        self._root_hits = 0
+        self._root_misses = 0
+        self._assigned_hits = 0
+        self._assigned_misses = 0
+
+    def classify(
+        self, leaf: TreeLeaf
+    ) -> Tuple[Category, FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
+        """The verdict and origin triple for one leaf."""
+        origins = self._exact.get(leaf.prefix)
+        leaf_origins = frozenset(origins) if origins else _EMPTY
+        root_origins = self._resolve_root_origins(leaf.root_prefix)
+        root_assigned = self._resolve_assigned(leaf)
+        category = self._classifier.classify(
+            leaf_origins, root_origins, root_assigned
+        )
+        return category, leaf_origins, root_origins, root_assigned
+
+    def _resolve_root_origins(
+        self, root_prefix: Optional[Prefix]
+    ) -> FrozenSet[int]:
+        if root_prefix is None:
+            return _EMPTY
+        cached = self._root_origins.get(root_prefix)
+        if cached is not None:
+            self._root_hits += 1
+            return cached
+        self._root_misses += 1
+        if self._use_covering:
+            resolved = self._routing_table.covering_origins(root_prefix)
+        else:
+            origins = self._exact.get(root_prefix)
+            resolved = frozenset(origins) if origins else _EMPTY
+        self._root_origins[root_prefix] = resolved
+        return resolved
+
+    def _resolve_assigned(self, leaf: TreeLeaf) -> FrozenSet[int]:
+        if leaf.root_record is None or leaf.root_record.org_id is None:
+            return _EMPTY
+        org_id = leaf.root_record.org_id
+        cached = self._assigned.get(org_id)
+        if cached is not None:
+            self._assigned_hits += 1
+            return cached
+        self._assigned_misses += 1
+        resolved = frozenset(self._database.asns_of_org(org_id))
+        self._assigned[org_id] = resolved
+        return resolved
+
+    def stats(self) -> CacheStats:
+        """This shard's cache counters."""
+        return CacheStats(
+            relatedness_hits=self._oracle.hits,
+            relatedness_misses=self._oracle.misses,
+            category_hits=self._classifier.hits,
+            category_misses=self._classifier.misses,
+            root_origin_hits=self._root_hits,
+            root_origin_misses=self._root_misses,
+            assigned_hits=self._assigned_hits,
+            assigned_misses=self._assigned_misses,
+        )
+
+
+def plan_shards(
+    leaf_counts: Sequence[int], shard_size: Optional[int] = None
+) -> List[Shard]:
+    """Slice each work unit into contiguous shards of ``shard_size``."""
+    size = shard_size or DEFAULT_SHARD_SIZE
+    if size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {size}")
+    shards: List[Shard] = []
+    for work_index, count in enumerate(leaf_counts):
+        for start in range(0, count, size):
+            shards.append(
+                Shard(work_index, start, min(start + size, count))
+            )
+    return shards
+
+
+def fork_available() -> bool:
+    """True when the platform supports the fork start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def effective_workers(
+    workers: int, total_leaves: int, shard_size: Optional[int] = None
+) -> int:
+    """The worker count actually used: serial for small inputs.
+
+    One shard's worth of leaves (or fewer) never pays pool start-up;
+    platforms without fork (pickling the substrates to spawn workers
+    would dwarf the classification itself) always run serial.
+    """
+    if workers <= 1:
+        return 1
+    if not fork_available():
+        return 1
+    if total_leaves <= (shard_size or DEFAULT_SHARD_SIZE):
+        return 1
+    return workers
+
+
+# Worker-side state, inherited through fork.  Set in the parent
+# immediately before the pool is created, cleared right after.
+_WORKER_STATE: Optional[
+    Tuple[Sequence[WorkUnit], RoutingTable, RelatednessOracle, bool]
+] = None
+
+
+def _classify_shard(shard: Shard) -> Tuple[List[_Row], CacheStats]:
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - defensive; fork guarantees state
+        raise RuntimeError("worker has no inherited classification state")
+    work, routing_table, oracle, use_covering = state
+    unit = work[shard.work_index]
+    classifier = ShardClassifier(
+        unit.database, routing_table, oracle, use_covering
+    )
+    rows: List[_Row] = []
+    for leaf in unit.leaves[shard.start : shard.stop]:
+        category, leaf_origins, root_origins, assigned = classifier.classify(
+            leaf
+        )
+        rows.append(
+            (
+                category.name,
+                tuple(sorted(leaf_origins)),
+                tuple(sorted(root_origins)),
+                tuple(sorted(assigned)),
+            )
+        )
+    return rows, classifier.stats()
+
+
+def run_sharded(
+    work: Sequence[WorkUnit],
+    routing_table: RoutingTable,
+    oracle: RelatednessOracle,
+    use_covering_root_lookup: bool,
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> Tuple[List[Shard], List[Tuple[List[_Row], CacheStats]]]:
+    """Classify every work unit across a fork-based process pool.
+
+    Returns the shard plan and, aligned with it, each shard's rows in
+    leaf order — deterministic regardless of which worker ran what.
+    """
+    global _WORKER_STATE
+    shards = plan_shards([len(unit.leaves) for unit in work], shard_size)
+    if not shards:
+        return [], []
+    pool_size = min(workers, len(shards))
+    context = multiprocessing.get_context("fork")
+    _WORKER_STATE = (work, routing_table, oracle, use_covering_root_lookup)
+    # Freeze the inherited heap so worker GC passes skip it: without
+    # this, the first collection in each child walks every parent
+    # object and copy-on-write duplicates the whole heap — on large
+    # worlds that costs more than the classification itself.
+    gc.collect()
+    gc.freeze()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size, mp_context=context
+        ) as pool:
+            outputs = list(pool.map(_classify_shard, shards))
+    finally:
+        _WORKER_STATE = None
+        gc.unfreeze()
+    return shards, outputs

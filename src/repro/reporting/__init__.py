@@ -1,10 +1,11 @@
 """Text reports reproducing the paper's tables and Fig. 3."""
 
+from .bench import render_bench_report
 from .diagnostics import (
     render_diagnostics_summary,
     render_diagnostics_text,
 )
-from .export import to_csv, to_markdown
+from .export import table1_json, table2_json, to_csv, to_markdown
 from .figures import render_timeline
 from .report import build_full_report
 from .tables import (
@@ -19,6 +20,7 @@ from .text import render_table
 
 __all__ = [
     "build_full_report",
+    "render_bench_report",
     "render_diagnostics_summary",
     "render_diagnostics_text",
     "render_drop_stats",
@@ -29,6 +31,8 @@ __all__ = [
     "render_table2",
     "render_table3",
     "render_timeline",
+    "table1_json",
+    "table2_json",
     "to_csv",
     "to_markdown",
 ]

@@ -1,0 +1,60 @@
+"""Terminal rendering of the pipeline benchmark payload."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .text import render_table
+
+__all__ = ["render_bench_report"]
+
+
+def render_bench_report(report: Dict[str, object]) -> str:
+    """One table per benched world: wall, throughput, speedups, caches."""
+    sections: List[str] = []
+    for world in report["worlds"]:  # type: ignore[union-attr]
+        headers = (
+            "mode",
+            "workers",
+            "wall s",
+            "leaves/s",
+            "vs reference",
+            "vs serial",
+            "cat hit%",
+            "root hit%",
+            "ok",
+        )
+        rows = []
+        for mode in world["modes"]:  # type: ignore[index]
+            cache = mode.get("cache") or {}
+            rates = cache.get("hit_rates") or {}
+            rows.append(
+                (
+                    mode["mode"],
+                    mode["workers"],
+                    f"{mode['wall_s']:.2f}",
+                    f"{mode['leaves_per_s']:,.0f}",
+                    f"{mode['speedup_vs_reference']:.2f}x",
+                    (
+                        f"{mode['speedup_vs_serial']:.2f}x"
+                        if mode["speedup_vs_serial"] is not None
+                        else "-"
+                    ),
+                    _percent(rates.get("category")),
+                    _percent(rates.get("root_origin")),
+                    "yes" if mode["equivalent"] else "NO",
+                )
+            )
+        title = (
+            f"Pipeline bench — {world['size']} world: "
+            f"{world['classifiable_leaves']:,} leaves, "
+            f"generate {world['stages']['generate_s']:.2f}s"
+        )
+        sections.append(render_table(headers, rows, title=title))
+    return "\n\n".join(sections)
+
+
+def _percent(rate: object) -> str:
+    if rate is None:
+        return "-"
+    return f"{float(rate) * 100:.0f}%"

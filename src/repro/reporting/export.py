@@ -8,9 +8,13 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
-__all__ = ["to_csv", "to_markdown"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.evaluation import EvaluationReport
+    from ..core.results import InferenceResult
+
+__all__ = ["to_csv", "to_markdown", "table1_json", "table2_json"]
 
 
 def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -36,6 +40,58 @@ def to_markdown(
             "| " + " | ".join(_format(value) for value in row) + " |"
         )
     return "\n".join(lines) + "\n"
+
+
+def table1_json(
+    result: "InferenceResult", routed_prefixes: int
+) -> Dict[str, object]:
+    """Table 1 as integer-only JSON, for golden-regression fixtures.
+
+    Counts only (no derived ratios): integers diff exactly across
+    platforms and Python versions, so any change in this payload is a
+    classification change, never a formatting one.
+    """
+    from ..core.classify import Category
+
+    regions: Dict[str, Dict[str, object]] = {}
+    for rir, tally in sorted(
+        result.tallies().items(), key=lambda item: item[0].name
+    ):
+        regions[rir.name] = {
+            "categories": {
+                category.name: tally.counts[category]
+                for category in Category
+            },
+            "total": tally.total,
+            "leased": tally.leased,
+        }
+    return {
+        "table": "table1",
+        "regions": regions,
+        "total_classified": result.total_classified(),
+        "total_leased": result.total_leased(),
+        "leased_address_space": result.leased_address_space(),
+        "routed_prefixes": routed_prefixes,
+    }
+
+
+def table2_json(report: "EvaluationReport") -> Dict[str, object]:
+    """Table 2 (confusion matrix + FN breakdown) as integer-only JSON."""
+    matrix = report.matrix
+    return {
+        "table": "table2",
+        "matrix": {
+            "tp": matrix.tp,
+            "fn": matrix.fn,
+            "fp": matrix.fp,
+            "tn": matrix.tn,
+        },
+        "false_negatives": {
+            "unused": report.fn_unused,
+            "invisible": report.fn_invisible,
+        },
+        "labelled": matrix.total,
+    }
 
 
 def _plain(value: object) -> object:

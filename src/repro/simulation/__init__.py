@@ -3,13 +3,23 @@
 from .geo import build_geo_databases
 from .groundtruth import GroundTruth, TruthEntry, TruthKind
 from .irr import build_route_registry
-from .scenario import MegaHolder, RegionSpec, Scenario, paper_world, small_world
+from .scenario import (
+    BENCH_SIZES,
+    MegaHolder,
+    RegionSpec,
+    Scenario,
+    bench_world,
+    paper_world,
+    small_world,
+)
 from .world import FeaturedPrefix, World, WorldBuilder, build_world
 
 __all__ = [
+    "BENCH_SIZES",
     "FeaturedPrefix",
     "GroundTruth",
     "MegaHolder",
+    "bench_world",
     "RegionSpec",
     "Scenario",
     "TruthEntry",

@@ -15,7 +15,15 @@ from typing import Dict, List, Tuple
 
 from ..rir import RIR
 
-__all__ = ["MegaHolder", "RegionSpec", "Scenario", "paper_world", "small_world"]
+__all__ = [
+    "BENCH_SIZES",
+    "MegaHolder",
+    "RegionSpec",
+    "Scenario",
+    "bench_world",
+    "paper_world",
+    "small_world",
+]
 
 
 @dataclass(frozen=True)
@@ -315,6 +323,37 @@ def small_world(seed: int = 7) -> Scenario:
         leased_share_by_dropped=0.06,
         leased_share_by_hijackers=0.2,
     )
+
+
+#: Benchmark world sizes, smallest first.  ``small`` doubles as the CI
+#:  smoke world (sub-second end to end); ``large`` is the world the
+#: committed ``BENCH_pipeline.json`` speedups are measured on.
+BENCH_SIZES: Tuple[str, ...] = ("small", "medium", "large")
+
+#: paper_world scale factor per bench size (smaller scale = bigger world).
+_BENCH_SCALES: Dict[str, int] = {"medium": 100, "large": 20}
+
+
+def bench_world(size: str, seed: int = 20240401) -> Scenario:
+    """The benchmark scenario for one of :data:`BENCH_SIZES`.
+
+    * ``small`` — the :func:`small_world` test scenario (~150 leaves).
+    * ``medium`` — :func:`paper_world` at 1/100 (~7k leaves).
+    * ``large`` — :func:`paper_world` at 1/20 (~34k leaves).
+
+    Scales below ~1/15 overflow the configured per-region /8 pools;
+    the world builder then draws from its reserve pools, so any scale
+    remains buildable for ad-hoc scaling studies.
+    """
+    if size == "small":
+        return small_world(seed=seed)
+    try:
+        scale = _BENCH_SCALES[size]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench size {size!r}; expected one of {BENCH_SIZES}"
+        ) from None
+    return paper_world(seed=seed, scale=scale)
 
 
 _SMALL_POOLS: Dict[RIR, Tuple[int, ...]] = {

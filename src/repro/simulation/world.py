@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..abuse.dropdb import AsnDropEntry, AsnDropList, DropArchive
 from ..asdata.as2org import AS2Org
@@ -163,18 +163,40 @@ class World:
 # ---------------------------------------------------------------------------
 
 
-class _AddressPool:
-    """Sequential /16 allocator over a region's /8 pools."""
+#: Spare /8s handed out (in order) when a region outgrows its configured
+#: ``address_pools`` — this is what lets one scenario knob scale a world
+#: from test-sized to bench-sized without editing every region spec.
+#: 130–176 collides with no configured pool and stays clear of the
+#: featured 203/8 space and multicast.
+RESERVE_POOLS: Tuple[int, ...] = tuple(range(130, 177))
 
-    def __init__(self, pools: Sequence[int]) -> None:
+
+class _AddressPool:
+    """Sequential /16 allocator over a region's /8 pools.
+
+    ``reserve`` is an optional callable yielding a fresh /8 when the
+    configured pools run out; regions that fit their spec never call it,
+    so existing worlds are byte-identical with or without it.
+    """
+
+    def __init__(
+        self,
+        pools: Sequence[int],
+        reserve: Optional[Callable[[], int]] = None,
+    ) -> None:
         self._pools = list(pools)
+        self._reserve = reserve
         self._index = 0
 
     def next_sixteen(self) -> Prefix:
         """The next unallocated /16."""
         pool_index, offset = divmod(self._index, 256)
         if pool_index >= len(self._pools):
-            raise RuntimeError("address pool exhausted; add /8s to the spec")
+            if self._reserve is None:
+                raise RuntimeError(
+                    "address pool exhausted; add /8s to the spec"
+                )
+            self._pools.append(self._reserve())
         self._index += 1
         return Prefix((self._pools[pool_index] << 24) | (offset << 16), 16)
 
@@ -242,6 +264,7 @@ class WorldBuilder:
         self._org_counter = 0
         self._mnt_counter = 0
         self._intermediates: Set[Prefix] = set()
+        self._reserve_pools = iter(RESERVE_POOLS)
         # Filled by the build steps.
         self.tier1: List[int] = []
         self.tier2: Dict[RIR, List[int]] = {}
@@ -436,8 +459,18 @@ class WorldBuilder:
         )[0]
 
     # -- stage 3: one region ---------------------------------------------
+    def _draw_reserve_pool(self) -> int:
+        """The next shared spare /8 (regions draw in build order)."""
+        try:
+            return next(self._reserve_pools)
+        except StopIteration:
+            raise RuntimeError(
+                "address pool exhausted and all reserve /8s are in use; "
+                "add /8s to the spec or extend RESERVE_POOLS"
+            ) from None
+
     def _build_region(self, spec: RegionSpec) -> None:
-        pool = _AddressPool(spec.address_pools)
+        pool = _AddressPool(spec.address_pools, self._draw_reserve_pool)
         brokers = self._build_brokers(spec)
         self._build_negative_isps(spec, pool)
         self._build_unused_and_inactive(spec, pool, brokers)

@@ -11,6 +11,7 @@ categories differently; this module maps every status string to a
 from __future__ import annotations
 
 import enum
+import functools
 from typing import Dict
 
 from ..rir import RIR
@@ -81,10 +82,15 @@ STATUS_TABLES: Dict[RIR, Dict[str, Portability]] = {
 }
 
 
+@functools.lru_cache(maxsize=None)
 def classify_status(rir: RIR, status: str) -> Portability:
     """Map a raw WHOIS status string to its portability category.
 
     Unrecognized statuses map to :data:`Portability.UNKNOWN`; the pipeline
     treats those conservatively (they are neither tree roots nor leaves).
+
+    Cached: the status vocabulary is tiny while the pipeline resolves
+    portability for every record on every tree build, so the normalize +
+    table lookup is a measurable hot path at census scale.
     """
     return STATUS_TABLES[rir].get(status.strip().upper(), Portability.UNKNOWN)

@@ -1,0 +1,142 @@
+"""Determinism tests: same seed, same world, same results, same schema.
+
+Two independent builds of the same seeded world must produce
+InferenceResults that are equal *and* iterate in the same order; the
+benchmark payload must keep an identical schema shape across runs
+(timings vary, structure may not); and InferenceResult accumulation
+must not depend on add/merge order.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import all_equivalent, run_benchmark, schema_shape
+from repro.core import LeaseInferencePipeline
+from repro.core.results import InferenceResult
+from repro.simulation import build_world, small_world
+
+
+def _run(seed, workers=1, shard_size=None):
+    world = build_world(small_world(seed=seed))
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    return pipeline.run(workers=workers, shard_size=shard_size)
+
+
+def _ordered(result):
+    return [
+        (inf.rir.name, inf.prefix.network, inf.prefix.length,
+         inf.category.name)
+        for inf in result
+    ]
+
+
+class TestRunDeterminism:
+    def test_same_seed_same_result_and_order(self):
+        first = _run(seed=11)
+        second = _run(seed=11)
+        assert first == second
+        assert _ordered(first) == _ordered(second)
+
+    def test_same_seed_parallel_is_deterministic(self):
+        first = _run(seed=11, workers=2, shard_size=16)
+        second = _run(seed=11, workers=2, shard_size=16)
+        assert first == second
+        assert _ordered(first) == _ordered(second)
+
+    def test_different_seeds_differ(self):
+        # Sanity: the equality used above can actually fail.
+        assert _run(seed=11) != _run(seed=12)
+
+
+class TestAccumulationOrder:
+    def test_add_order_does_not_change_equality(self):
+        inferences = list(_run(seed=11))
+        shuffled = inferences[:]
+        random.Random(0).shuffle(shuffled)
+        forward = InferenceResult.from_inferences(inferences)
+        scrambled = InferenceResult.from_inferences(shuffled)
+        assert scrambled == forward
+        assert scrambled.tallies() == forward.tallies()
+
+    def test_merge_order_does_not_change_equality(self):
+        inferences = list(_run(seed=11))
+        third = max(1, len(inferences) // 3)
+        parts = [
+            InferenceResult.from_inferences(inferences[i : i + third])
+            for i in range(0, len(inferences), third)
+        ]
+        forward = InferenceResult()
+        for part in parts:
+            forward.merge(part)
+        backward = InferenceResult()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward == backward
+        assert forward == InferenceResult.from_inferences(inferences)
+
+
+class TestBenchSchemaDeterminism:
+    @pytest.fixture(scope="class")
+    def quick_reports(self):
+        return (
+            run_benchmark(quick=True, seed=3),
+            run_benchmark(quick=True, seed=3),
+        )
+
+    def test_schema_shape_identical_across_runs(self, quick_reports):
+        first, second = quick_reports
+        assert schema_shape(first) == schema_shape(second)
+
+    def test_quick_payload_sanity(self, quick_reports):
+        report = quick_reports[0]
+        assert report["schema"] == {"name": "BENCH_pipeline", "version": 1}
+        assert report["config"]["quick"] is True
+        assert all_equivalent(report)
+        (world,) = report["worlds"]
+        assert world["size"] == "small"
+        assert [mode["mode"] for mode in world["modes"]] == [
+            "reference", "serial", "parallel-2",
+        ]
+        for mode in world["modes"]:
+            assert mode["equivalent"] is True
+            assert mode["wall_s"] > 0
+            assert mode["leaves_per_s"] > 0
+
+    def test_digests_deterministic_across_runs(self, quick_reports):
+        # Identical classification counts both runs (not just shape).
+        first, second = quick_reports
+        assert (
+            first["worlds"][0]["classifiable_leaves"]
+            == second["worlds"][0]["classifiable_leaves"]
+        )
+
+
+class TestBenchCli:
+    def test_quick_bench_writes_payload_and_renders(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH_smoke.json"
+        rc = main(["bench", "--quick", "--out", str(out), "--seed", "3"])
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert out.exists()
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["schema"]["name"] == "BENCH_pipeline"
+        assert "Pipeline bench" in captured
+        assert f"wrote {out}" in captured
+
+    def test_bad_size_and_workers_are_rejected(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "BENCH.json"
+        assert main(["bench", "--sizes", "galactic", "--out", str(out)]) == 2
+        assert main(["bench", "--workers", "two", "--out", str(out)]) == 2
+        assert not out.exists()
+        stdout = capsys.readouterr().out
+        assert "unknown bench sizes" in stdout
+        assert "bad --workers" in stdout

@@ -33,8 +33,7 @@ class TestValidateWorld:
         problems = validate_world(broken)
         assert any("AS999999" in problem for problem in problems)
         # Clean up the module-scoped fixture's shared table.
-        broken.routing_table._origin_prefixes.pop(999_999)
-        broken.routing_table._trie.remove(Prefix.parse("203.0.113.0/24"))
+        broken.routing_table.withdraw(Prefix.parse("203.0.113.0/24"))
 
     def test_detects_silent_lease(self):
         world = build_world(small_world(seed=33))
@@ -42,10 +41,7 @@ class TestValidateWorld:
         from repro.simulation import TruthKind
 
         entry = world.ground_truth.of_kind(TruthKind.LEASED_ACTIVE)[0]
-        origins = world.routing_table.exact_origins(entry.prefix)
-        for origin in origins:
-            world.routing_table._origin_prefixes[origin].discard(entry.prefix)
-        world.routing_table._trie.remove(entry.prefix)
+        assert world.routing_table.withdraw(entry.prefix)
         problems = validate_world(world)
         assert any(str(entry.prefix) in problem for problem in problems)
 
