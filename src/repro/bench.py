@@ -3,11 +3,14 @@
 Times the three stages of a full reproduction run — world generation,
 tree build, classification — for every engine mode (the frozen
 reference engine, the fast serial engine, and each requested parallel
-worker count) over synthetic worlds of increasing size, and writes the
-results as ``BENCH_pipeline.json`` so every future PR has a number to
-beat.  Every mode's output is digested and checked equivalent to the
-reference engine's; a benchmark that produces different classifications
-reports ``"equivalent": false`` and exits non-zero.
+worker count) over synthetic worlds of increasing size, then times the
+legacy, RPKI, and longitudinal extension pipelines per engine off the
+shared ``AnalysisContext``, and **appends** the run to the
+``BENCH_pipeline.json`` trajectory so every future PR has a number to
+beat and the history survives regeneration.  Every mode's output is
+digested and checked equivalent to its reference engine; a benchmark
+that produces different classifications reports ``"equivalent": false``
+and exits non-zero.
 
 Methodology notes (they matter on small machines):
 
@@ -30,7 +33,14 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from .core import LeaseInferencePipeline
+from .core import (
+    LeaseInferencePipeline,
+    LegacyLeasePipeline,
+    RelatednessOracle,
+    RpkiValidationPipeline,
+    compare_epochs,
+    compare_epochs_fast,
+)
 from .core.results import InferenceResult
 from .core.sharding import DEFAULT_SHARD_SIZE
 from .simulation import BENCH_SIZES, bench_world, build_world
@@ -38,12 +48,18 @@ from .simulation import BENCH_SIZES, bench_world, build_world
 __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_WORKER_COUNTS",
+    "all_equivalent",
+    "load_trajectory",
     "run_benchmark",
     "write_benchmark",
     "schema_shape",
 ]
 
-SCHEMA_VERSION = 1
+#: v2: per-world ``extensions`` section (legacy / RPKI / longitudinal
+#: engine timings) and append-trajectory files — ``write_benchmark``
+#: accumulates runs instead of overwriting (v1 payloads migrate to
+#: ``runs[0]``).
+SCHEMA_VERSION = 2
 
 #: Parallel modes measured by default.
 DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (2, 4)
@@ -112,12 +128,15 @@ def run_benchmark(
     repeats: int = 2,
     seed: int = 20240401,
     quick: bool = False,
+    extensions: bool = True,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
-    """Run the harness and return the ``BENCH_pipeline.json`` payload.
+    """Run the harness and return one ``BENCH_pipeline.json`` run payload.
 
     ``quick`` is the CI smoke configuration: the small world only, one
-    parallel mode, one repeat — seconds, not minutes.
+    parallel mode, one repeat — seconds, not minutes.  ``extensions``
+    additionally times the legacy, RPKI, and longitudinal pipelines per
+    engine from the shared :class:`AnalysisContext` of the base run.
     """
 
     def say(message: str) -> None:
@@ -211,16 +230,20 @@ def run_benchmark(
                 )
             )
 
-        worlds.append(
-            {
-                "size": size,
-                "seed": seed,
-                "classifiable_leaves": leaves,
-                "routed_prefixes": world.routing_table.num_prefixes(),
-                "stages": {"generate_s": round(generate_s, 4)},
-                "modes": modes,
-            }
-        )
+        world_payload: Dict[str, object] = {
+            "size": size,
+            "seed": seed,
+            "classifiable_leaves": leaves,
+            "routed_prefixes": world.routing_table.num_prefixes(),
+            "stages": {"generate_s": round(generate_s, 4)},
+            "modes": modes,
+        }
+        if extensions:
+            say(f"[bench] {size}: extension pipelines ...")
+            world_payload["extensions"] = _bench_extensions(
+                world, worker_list, repeats
+            )
+        worlds.append(world_payload)
         del make_pipeline, world
         gc.collect()
 
@@ -232,6 +255,7 @@ def run_benchmark(
             "workers": worker_list,
             "repeats": max(1, repeats),
             "quick": quick,
+            "extensions": extensions,
         },
         "host": {
             "python": platform.python_version(),
@@ -272,6 +296,170 @@ def _mode_payload(
     }
 
 
+# -- extension pipelines ---------------------------------------------------
+
+def _time_callable(fn: Callable[[], object], repeats: int):
+    """Best wall time across repeats and the (identical) last output."""
+    best: Optional[float] = None
+    output: object = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        started = time.perf_counter()
+        output = fn()
+        wall = time.perf_counter() - started
+        if best is None or wall < best:
+            best = wall
+    assert best is not None
+    return best, output
+
+
+def _ext_mode(
+    mode: str,
+    workers: int,
+    shard_size: Optional[int],
+    wall: float,
+    ref_wall: float,
+    equivalent: bool,
+) -> Dict[str, object]:
+    return {
+        "mode": mode,
+        "workers": workers,
+        "shard_size": shard_size,
+        "wall_s": round(wall, 4),
+        "speedup_vs_reference": round(ref_wall / wall, 2) if wall else 0.0,
+        "equivalent": equivalent,
+    }
+
+
+def _ext_modes(
+    run_reference: Callable[[], object],
+    run_fast: Callable[[int, Optional[int]], object],
+    digest: Callable[[object], object],
+    count: Callable[[object], int],
+    worker_list: Sequence[int],
+    repeats: int,
+) -> Dict[str, object]:
+    """Time one extension pipeline under every engine mode."""
+    ref_wall, ref_out = _time_callable(run_reference, repeats)
+    ref_digest = digest(ref_out)
+    items = count(ref_out)
+    modes = [_ext_mode("reference", 1, None, ref_wall, ref_wall, True)]
+    serial_wall, out = _time_callable(lambda: run_fast(1, None), repeats)
+    modes.append(
+        _ext_mode(
+            "serial", 1, None, serial_wall, ref_wall,
+            digest(out) == ref_digest,
+        )
+    )
+    for workers in worker_list:
+        shard_size = _bench_shard_size(items, workers)
+        wall, out = _time_callable(
+            lambda w=workers, s=shard_size: run_fast(w, s), repeats
+        )
+        modes.append(
+            _ext_mode(
+                f"parallel-{workers}",
+                workers,
+                shard_size or DEFAULT_SHARD_SIZE,
+                wall,
+                ref_wall,
+                digest(out) == ref_digest,
+            )
+        )
+    return {"items": items, "modes": modes}
+
+
+def _legacy_digest(inferences) -> List[Tuple]:
+    return [
+        (
+            inference.prefix.network,
+            inference.prefix.length,
+            inference.verdict.name,
+            tuple(sorted(inference.origins)),
+        )
+        for inference in inferences
+    ]
+
+
+def _churn_digest(churn) -> Tuple:
+    def prefixes(values):
+        return tuple(sorted((p.network, p.length) for p in values))
+
+    return (
+        prefixes(churn.new_leases),
+        prefixes(churn.ended_leases),
+        prefixes(churn.persisting),
+        prefixes(churn.re_leased),
+        tuple(
+            sorted(
+                (rir.name, rc.new, rc.ended, rc.persisting, rc.re_leased)
+                for rir, rc in churn.by_rir.items()
+            )
+        ),
+    )
+
+
+def _bench_extensions(
+    world, worker_list: Sequence[int], repeats: int
+) -> Dict[str, object]:
+    """Time legacy / RPKI / longitudinal engines off one shared context.
+
+    The base fast-serial result supplies the extension inputs (the
+    leased population for RPKI, the epochs for churn); its
+    :class:`AnalysisContext` is built once and reused by every fast
+    engine, which is exactly the production configuration.
+    """
+    pipeline = LeaseInferencePipeline(
+        world.whois,
+        world.routing_table,
+        world.relationships,
+        world.as2org,
+    )
+    base = pipeline.run()
+    context = pipeline.context
+    oracle = RelatednessOracle(world.relationships, world.as2org)
+    leased = sorted(base.leased_prefixes())
+
+    legacy_pipeline = LegacyLeasePipeline(
+        world.whois, world.routing_table, oracle, context=context
+    )
+    legacy = _ext_modes(
+        run_reference=legacy_pipeline.run_reference,
+        run_fast=lambda w, s: legacy_pipeline.run(workers=w, shard_size=s),
+        digest=_legacy_digest,
+        count=len,
+        worker_list=worker_list,
+        repeats=repeats,
+    )
+
+    rpki_pipeline = RpkiValidationPipeline(
+        world.routing_table, world.roas, context=context
+    )
+    rpki = _ext_modes(
+        run_reference=lambda: rpki_pipeline.profile_reference(leased),
+        run_fast=lambda w, s: rpki_pipeline.profile(
+            leased, workers=w, shard_size=s
+        ),
+        digest=lambda p: (p.valid, p.invalid, p.not_found),
+        count=lambda _profile: len(leased),
+        worker_list=worker_list,
+        repeats=repeats,
+    )
+
+    longitudinal = _ext_modes(
+        run_reference=lambda: compare_epochs(base, base),
+        run_fast=lambda w, s: compare_epochs_fast(
+            base, base, workers=w, shard_size=s
+        ),
+        digest=_churn_digest,
+        count=lambda churn: len(churn.persisting),
+        worker_list=worker_list,
+        repeats=repeats,
+    )
+
+    return {"legacy": legacy, "rpki": rpki, "longitudinal": longitudinal}
+
+
 def _cpu_count() -> int:
     try:
         import os
@@ -284,17 +472,56 @@ def _cpu_count() -> int:
 
 
 def all_equivalent(report: Dict[str, object]) -> bool:
-    """True when every mode of every world matched the reference."""
-    return all(
-        bool(mode["equivalent"])
-        for world in report["worlds"]  # type: ignore[union-attr]
-        for mode in world["modes"]  # type: ignore[index]
-    )
+    """True when every mode of every world (and every extension pipeline)
+    matched its reference engine."""
+    for world in report["worlds"]:  # type: ignore[union-attr]
+        for mode in world["modes"]:  # type: ignore[index]
+            if not bool(mode["equivalent"]):
+                return False
+        for section in world.get("extensions", {}).values():  # type: ignore[union-attr]
+            for mode in section["modes"]:
+                if not bool(mode["equivalent"]):
+                    return False
+    return True
+
+
+def load_trajectory(path: Path) -> List[Dict[str, object]]:
+    """The runs already recorded at *path* (empty for new/unreadable files).
+
+    v1 files hold a single run payload at top level; it becomes
+    ``runs[0]`` of the migrated trajectory, keeping its own v1
+    ``schema`` stamp as provenance.
+    """
+    if not path.exists():
+        return []
+    try:
+        existing = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if isinstance(existing, dict):
+        runs = existing.get("runs")
+        if isinstance(runs, list):
+            return runs
+        if "worlds" in existing:
+            return [existing]
+    return []
 
 
 def write_benchmark(report: Dict[str, object], path: Path) -> None:
-    """Write the payload as pretty, key-stable JSON."""
-    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    """Append the run to the trajectory at *path* (pretty, key-stable).
+
+    The file accumulates one entry per benchmark run —
+    ``{"schema": ..., "runs": [oldest, ..., newest]}`` — so the perf
+    history behind the repo survives regeneration instead of being
+    overwritten.  Pre-v2 single-run files are migrated in place.
+    """
+    runs = load_trajectory(path)
+    runs.append(report)
+    payload = {
+        "schema": {"name": "BENCH_pipeline", "version": SCHEMA_VERSION},
+        "runs": runs,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def schema_shape(value: object) -> object:
@@ -342,6 +569,7 @@ def run_from_args(args) -> int:
         repeats=args.repeats,
         seed=args.seed,
         quick=args.quick,
+        extensions=not getattr(args, "no_extensions", False),
         log=print,
     )
     write_benchmark(report, args.out)

@@ -28,10 +28,8 @@ from .core import (
     evaluate_inference,
     hijacker_overlap,
     infer_leases,
-    infer_legacy_leases,
     roa_abuse_analysis,
     top_holders,
-    validation_profile,
 )
 from .reporting import (
     render_drop_stats,
@@ -141,8 +139,9 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="run diagnostics first and abort on errors",
             )
+        if name in ("infer", "legacy", "rpki"):
             add_worker_options(command)
-        if name in ("infer", "evaluate"):
+        if name in ("infer", "evaluate", "legacy", "rpki"):
             command.add_argument(
                 "--json",
                 action="store_true",
@@ -232,6 +231,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI smoke mode: small world, one parallel mode, one repeat",
+    )
+    bench.add_argument(
+        "--no-extensions",
+        action="store_true",
+        help="skip the legacy/RPKI/longitudinal pipeline timings",
     )
 
     report = sub.add_parser(
@@ -371,11 +375,34 @@ def _cmd_abuse(args: argparse.Namespace) -> int:
 
 
 def _cmd_legacy(args: argparse.Namespace) -> int:
+    from .core import LegacyLeasePipeline
+
     bundle = load_datasets(args.data)
     oracle = RelatednessOracle(bundle.relationships, bundle.as2org)
-    verdicts = infer_legacy_leases(
+    verdicts = LegacyLeasePipeline(
         bundle.whois, bundle.routing_table, oracle
+    ).run(
+        workers=getattr(args, "workers", 1),
+        shard_size=getattr(args, "shard_size", None),
     )
+    if getattr(args, "json", False):
+        import json
+
+        payload = [
+            {
+                "prefix": str(inference.prefix),
+                "verdict": inference.verdict.value,
+                "parent": (
+                    str(inference.parent_prefix)
+                    if inference.parent_prefix is not None
+                    else None
+                ),
+                "origins": sorted(inference.origins),
+            }
+            for inference in verdicts
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     by_verdict: dict = {}
     for inference in verdicts:
         by_verdict.setdefault(inference.verdict.value, []).append(inference)
@@ -389,14 +416,45 @@ def _cmd_legacy(args: argparse.Namespace) -> int:
 
 
 def _cmd_rpki(args: argparse.Namespace) -> int:
+    from .core import LeaseInferencePipeline, RpkiValidationPipeline
+
     bundle = load_datasets(args.data)
-    result = _infer_bundle(bundle)
+    pipeline = LeaseInferencePipeline(
+        bundle.whois,
+        bundle.routing_table,
+        bundle.relationships,
+        bundle.as2org,
+    )
+    workers = getattr(args, "workers", 1)
+    shard_size = getattr(args, "shard_size", None)
+    result = pipeline.run(workers=workers, shard_size=shard_size)
+    profiler = RpkiValidationPipeline(
+        bundle.routing_table, bundle.roas, context=pipeline.context
+    )
     leased = result.leased_prefixes()
     other = set(bundle.routing_table.prefixes()) - leased
-    for label, population in (("leased", leased), ("non-leased", other)):
-        profile = validation_profile(
-            population, bundle.routing_table, bundle.roas
+    profiles = {
+        label: profiler.profile(
+            sorted(population), workers=workers, shard_size=shard_size
         )
+        for label, population in (("leased", leased), ("non-leased", other))
+    }
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            label: {
+                "valid": profile.valid,
+                "invalid": profile.invalid,
+                "not_found": profile.not_found,
+                "total": profile.total,
+            }
+            for label, profile in profiles.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for label in ("leased", "non-leased"):
+        profile = profiles[label]
         print(
             f"{label:<11} announcements: {profile.total:>6}  "
             f"valid {profile.valid_share:6.1%}  "

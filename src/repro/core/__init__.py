@@ -3,6 +3,8 @@
 Public surface:
 
 * :class:`LeaseInferencePipeline` / :func:`infer_leases` — §5 end to end.
+* :class:`AnalysisContext` — the shared, spawn-safe substrate snapshot
+  every fast engine (base, legacy, RPKI, longitudinal) draws from.
 * :class:`AllocationTree` — §5.1 address allocation trees.
 * :class:`Category` / :func:`classify_leaf` — §5.2 leaf classification.
 * :func:`curate_reference` / :func:`evaluate_inference` — §5.3/§6.2.
@@ -44,23 +46,39 @@ from .hijack_confusion import (
     attribute_alarms,
     origin_changes,
 )
-from .legacy import LegacyInference, LegacyVerdict, infer_legacy_leases
-from .longitudinal import LeaseChurn, RegionChurn, compare_epochs
+from .context import AnalysisContext, RibSnapshot, RoaSnapshot
+from .legacy import (
+    LegacyInference,
+    LegacyLeasePipeline,
+    LegacyVerdict,
+    infer_legacy_leases,
+)
+from .longitudinal import (
+    LeaseChurn,
+    RegionChurn,
+    compare_epochs,
+    compare_epochs_fast,
+)
 from .metrics import ConfusionMatrix
-from .rpki_analysis import ValidationProfile, validation_profile
+from .rpki_analysis import (
+    RpkiValidationPipeline,
+    ValidationProfile,
+    validation_profile,
+)
 from .stats import BootstrapCI, risk_ratio_ci, share_ci
 from .pipeline import LeaseInferencePipeline, infer_leases
 from .reference import ReferenceDataset, curate_reference
-from .relatedness import MemoizedRelatednessOracle, RelatednessOracle
+from .relatedness import RelatednessOracle
 from .results import InferenceResult, LeafInference, RegionalTally
 from .sharding import (
     DEFAULT_SHARD_SIZE,
     CacheStats,
     Shard,
     ShardClassifier,
-    WorkUnit,
     effective_workers,
+    fork_available,
     plan_shards,
+    run_sharded,
 )
 from .timeline import (
     BgpOriginHistory,
@@ -75,16 +93,19 @@ __all__ = [
     "AlarmReport",
     "AllocationScan",
     "AllocationTree",
+    "AnalysisContext",
     "BgpOriginHistory",
     "CacheStats",
     "DEFAULT_SHARD_SIZE",
     "MemoizedClassifier",
-    "MemoizedRelatednessOracle",
+    "RibSnapshot",
+    "RoaSnapshot",
     "Shard",
     "ShardClassifier",
-    "WorkUnit",
     "effective_workers",
+    "fork_available",
     "plan_shards",
+    "run_sharded",
     "BootstrapCI",
     "GeoConsistency",
     "HolderProfile",
@@ -100,8 +121,10 @@ __all__ = [
     "LeaseChurn",
     "LeaseInferencePipeline",
     "LegacyInference",
+    "LegacyLeasePipeline",
     "LegacyVerdict",
     "RegionChurn",
+    "RpkiValidationPipeline",
     "ValidationProfile",
     "PeriodKind",
     "PrefixTimeline",
@@ -115,6 +138,7 @@ __all__ = [
     "build_timeline",
     "classify_leaf",
     "compare_epochs",
+    "compare_epochs_fast",
     "origin_changes",
     "resolve_maintainer_names",
     "curate_reference",

@@ -9,13 +9,16 @@ lessee, the pattern Fig. 3 shows for one prefix).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..net import Prefix
 from ..rir import RIR
 from .results import InferenceResult
+from .sharding import effective_workers, run_sharded
 
-__all__ = ["LeaseChurn", "compare_epochs"]
+__all__ = ["LeaseChurn", "compare_epochs", "compare_epochs_fast"]
+
+_EMPTY: FrozenSet[int] = frozenset()
 
 
 @dataclass
@@ -57,7 +60,13 @@ class RegionChurn:
 def compare_epochs(
     earlier: InferenceResult, later: InferenceResult
 ) -> LeaseChurn:
-    """Diff the leased sets of two epochs, with per-region breakdowns."""
+    """Diff the leased sets of two epochs, with per-region breakdowns.
+
+    This is the **frozen reference engine** (per-region list scans,
+    per-prefix lookups); :func:`compare_epochs_fast` computes the same
+    churn with single-pass views and optional sharding, and is tested
+    for equality against it.
+    """
     earlier_leased = earlier.leased_prefixes()
     later_leased = later.leased_prefixes()
     new = later_leased - earlier_leased
@@ -96,3 +105,101 @@ def compare_epochs(
 def _origins(result: InferenceResult, prefix: Prefix) -> FrozenSet[int]:
     inference = result.lookup(prefix)
     return inference.leaf_origins if inference else frozenset()
+
+
+# -- fast engine ----------------------------------------------------------
+
+def _epoch_view(
+    result: InferenceResult,
+) -> Tuple[FrozenSet[Prefix], Dict[RIR, Set[Prefix]], Dict[Prefix, FrozenSet[int]]]:
+    """One pass over a result: leased set, per-region leased sets, and the
+    last-wins prefix → origins map (``lookup`` semantics)."""
+    leased: Set[Prefix] = set()
+    by_rir: Dict[RIR, Set[Prefix]] = {rir: set() for rir in RIR}
+    origins: Dict[Prefix, FrozenSet[int]] = {}
+    for inference in result:
+        origins[inference.prefix] = inference.leaf_origins
+        if inference.is_leased:
+            leased.add(inference.prefix)
+            by_rir[inference.rir].add(inference.prefix)
+    return frozenset(leased), by_rir, origins
+
+
+def _releases_rows(
+    persisting: Tuple[Prefix, ...],
+    earlier_origins: Dict[Prefix, FrozenSet[int]],
+    later_origins: Dict[Prefix, FrozenSet[int]],
+) -> Tuple[Prefix, ...]:
+    """The persisting prefixes whose origin AS set changed."""
+    return tuple(
+        prefix
+        for prefix in persisting
+        if earlier_origins.get(prefix, _EMPTY)
+        != later_origins.get(prefix, _EMPTY)
+    )
+
+
+def _releases_shard(payload, shard):
+    """Module-level shard runner for :func:`run_sharded`."""
+    persisting, earlier_origins, later_origins = payload
+    return _releases_rows(
+        persisting[shard.start : shard.stop], earlier_origins, later_origins
+    )
+
+
+def compare_epochs_fast(
+    earlier: InferenceResult,
+    later: InferenceResult,
+    workers: int = 1,
+    shard_size: Optional[int] = None,
+) -> LeaseChurn:
+    """Churn equal to :func:`compare_epochs`, from single-pass views.
+
+    Each epoch is reduced to (leased set, per-region leased sets,
+    last-wins origins map) in one iteration; the re-lease scan over the
+    persisting prefixes can then be sharded across processes — only the
+    persisting-restricted origin maps ship to workers.
+    """
+    earlier_leased, earlier_by_rir, earlier_origins = _epoch_view(earlier)
+    later_leased, later_by_rir, later_origins = _epoch_view(later)
+    persisting = earlier_leased & later_leased
+    ordered = tuple(sorted(persisting))
+
+    earlier_persisting = {p: earlier_origins.get(p, _EMPTY) for p in ordered}
+    later_persisting = {p: later_origins.get(p, _EMPTY) for p in ordered}
+    pool_size = effective_workers(workers, len(ordered), shard_size)
+    if pool_size <= 1:
+        re_leased = frozenset(
+            _releases_rows(ordered, earlier_persisting, later_persisting)
+        )
+    else:
+        _shards, outputs = run_sharded(
+            (ordered, earlier_persisting, later_persisting),
+            _releases_shard,
+            [len(ordered)],
+            pool_size,
+            shard_size,
+        )
+        re_leased = frozenset(
+            prefix for rows in outputs for prefix in rows
+        )
+
+    by_rir: Dict[RIR, RegionChurn] = {}
+    for rir in RIR:
+        region_earlier = earlier_by_rir[rir]
+        region_later = later_by_rir[rir]
+        region_persisting = region_earlier & region_later
+        by_rir[rir] = RegionChurn(
+            rir=rir,
+            new=len(region_later - region_earlier),
+            ended=len(region_earlier - region_later),
+            persisting=len(region_persisting),
+            re_leased=len(region_persisting & re_leased),
+        )
+    return LeaseChurn(
+        new_leases=frozenset(later_leased - earlier_leased),
+        ended_leases=frozenset(earlier_leased - later_leased),
+        persisting=frozenset(persisting),
+        re_leased=re_leased,
+        by_rir=by_rir,
+    )

@@ -27,17 +27,17 @@ from ..rir import RIR
 from ..whois.database import WhoisCollection, WhoisDatabase
 from .allocation_tree import (
     DEFAULT_MAX_LEAF_LENGTH,
-    AllocationScan,
     AllocationTree,
     TreeLeaf,
 )
 from .classify import Category, classify_leaf
+from .context import AnalysisContext
 from .relatedness import RelatednessOracle
 from .results import InferenceResult, LeafInference
 from .sharding import (
     CacheStats,
     ShardClassifier,
-    WorkUnit,
+    classify_shard_rows,
     effective_workers,
     run_sharded,
 )
@@ -71,6 +71,9 @@ class LeaseInferencePipeline:
         self.workers = workers
         self.shard_size = shard_size
         self.trees: Dict[RIR, AllocationTree] = {}
+        #: The shared substrate snapshot of the last :meth:`run`; reuse
+        #: it across the extension pipelines to skip rebuilding.
+        self.context: Optional[AnalysisContext] = None
         #: Wall-clock stage breakdown of the last run, seconds.
         self.timings: Dict[str, float] = {}
         self._stats: Optional[Dict[RIR, Dict[str, int]]] = None
@@ -82,49 +85,62 @@ class LeaseInferencePipeline:
         rirs: Optional[Iterable[RIR]] = None,
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
+        context: Optional[AnalysisContext] = None,
     ) -> InferenceResult:
         """Classify every leaf in the selected registries (default: all).
 
-        ``workers`` > 1 classifies shards across a fork-based process
-        pool; small inputs (at most one shard) and fork-less platforms
-        fall back to the identical serial path.  Output is bit-for-bit
-        equal to :meth:`run_reference` in every mode.
+        Builds (or reuses, via ``context``) the shared
+        :class:`AnalysisContext` snapshot, then classifies from it.
+        ``workers`` > 1 classifies shards across a process pool — fork
+        where available, spawn otherwise (the context is spawn-safe);
+        small inputs (at most one shard) fall back to the identical
+        serial path.  Output is bit-for-bit equal to
+        :meth:`run_reference` in every mode.
         """
         workers = self.workers if workers is None else workers
         shard_size = self.shard_size if shard_size is None else shard_size
         result = InferenceResult()
-        stats: Dict[RIR, Dict[str, int]] = {}
 
         tree_started = time.perf_counter()
-        work: List[WorkUnit] = []
-        for rir in rirs if rirs is not None else list(RIR):
-            database = self.whois[rir]
-            if not database.inetnums:
-                continue
-            scan = AllocationScan(database, self.max_leaf_length)
-            stats[rir] = scan.stats()
-            work.append(WorkUnit(rir, database, scan.classifiable_leaves()))
+        if context is None:
+            context = AnalysisContext.build(
+                self.whois,
+                self.routing_table,
+                self.oracle.relationships,
+                self.oracle.as2org,
+                self.max_leaf_length,
+                rirs=rirs,
+            )
+        self.context = context
+        work_rirs: List[RIR] = [
+            rir
+            for rir in (rirs if rirs is not None else list(RIR))
+            if rir in context.rirs
+        ]
         tree_elapsed = time.perf_counter() - tree_started
 
         classify_started = time.perf_counter()
-        total = sum(len(unit.leaves) for unit in work)
+        total = sum(len(context.leaf_keys[rir]) for rir in work_rirs)
         pool_size = effective_workers(workers, total, shard_size)
         cache_stats = CacheStats()
         if pool_size <= 1:
-            for unit in work:
+            for rir in work_rirs:
                 classifier = ShardClassifier(
-                    unit.database,
-                    self.routing_table,
-                    self.oracle,
-                    self.use_covering_root_lookup,
+                    context, rir, self.use_covering_root_lookup
                 )
-                for leaf in unit.leaves:
+                for leaf in context.leaves(rir):
                     category, leaf_origins, root_origins, assigned = (
-                        classifier.classify(leaf)
+                        classifier.classify(
+                            leaf.prefix,
+                            leaf.root_prefix,
+                            leaf.root_record.org_id
+                            if leaf.root_record
+                            else None,
+                        )
                     )
                     result.add(
                         self._make_inference(
-                            unit.rir,
+                            rir,
                             leaf,
                             category,
                             leaf_origins,
@@ -134,23 +150,23 @@ class LeaseInferencePipeline:
                     )
                 cache_stats.merge(classifier.stats())
         else:
+            rir_order = tuple(work_rirs)
             shards, outputs = run_sharded(
-                work,
-                self.routing_table,
-                self.oracle,
-                self.use_covering_root_lookup,
+                (context, self.use_covering_root_lookup, rir_order),
+                classify_shard_rows,
+                [len(context.leaf_keys[rir]) for rir in rir_order],
                 pool_size,
                 shard_size,
             )
             for shard, (rows, shard_stats) in zip(shards, outputs):
-                unit = work[shard.work_index]
-                leaves = unit.leaves[shard.start : shard.stop]
+                rir = rir_order[shard.work_index]
+                leaves = context.leaves(rir)[shard.start : shard.stop]
                 for leaf, (name, leaf_origins, root_origins, assigned) in zip(
                     leaves, rows
                 ):
                     result.add(
                         self._make_inference(
-                            unit.rir,
+                            rir,
                             leaf,
                             Category[name],
                             frozenset(leaf_origins),
@@ -160,7 +176,9 @@ class LeaseInferencePipeline:
                     )
                 cache_stats.merge(shard_stats)
 
-        self._stats = stats
+        self._stats = {
+            rir: dict(context.stats[rir]) for rir in work_rirs
+        }
         self._cache_stats = cache_stats
         self.timings = {
             "tree_build_s": tree_elapsed,

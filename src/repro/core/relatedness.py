@@ -9,12 +9,12 @@ as the Vodafone subsidiaries of §6.2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 from ..asdata.as2org import AS2Org
 from ..asdata.relationships import ASRelationships
 
-__all__ = ["RelatednessOracle", "MemoizedRelatednessOracle"]
+__all__ = ["RelatednessOracle"]
 
 
 class RelatednessOracle:
@@ -44,39 +44,10 @@ class RelatednessOracle:
         )
 
 
-class MemoizedRelatednessOracle(RelatednessOracle):
-    """A relatedness oracle with a per-instance answer cache.
-
-    The classifier asks the same (origin, assigned-AS) pairs over and
-    over — hosting lessees originate hundreds of leaves under the same
-    handful of roots — so the sharded pipeline wraps its oracle in one of
-    these per shard.  Answers are pure functions of the underlying
-    datasets, so memoization cannot change results, only the counters.
-    """
-
-    def __init__(
-        self,
-        relationships: ASRelationships,
-        as2org: Optional[AS2Org] = None,
-    ) -> None:
-        super().__init__(relationships, as2org)
-        self._cache: Dict[Tuple[int, int], bool] = {}
-        self.hits = 0
-        self.misses = 0
-
-    @classmethod
-    def wrapping(cls, oracle: RelatednessOracle) -> "MemoizedRelatednessOracle":
-        """A caching oracle over the same datasets as *oracle*."""
-        return cls(oracle.relationships, oracle.as2org)
-
-    def related(self, left: int, right: int) -> bool:
-        """Cached :meth:`RelatednessOracle.related`."""
-        key = (left, right)
-        answer = self._cache.get(key)
-        if answer is None:
-            self.misses += 1
-            answer = super().related(left, right)
-            self._cache[key] = answer
-        else:
-            self.hits += 1
-        return answer
+# A per-AS-pair MemoizedRelatednessOracle used to live here.  It sat
+# below the category cache, which deduplicates the origin triples, so
+# the pair memo never saw a repeated query — every committed
+# BENCH_pipeline.json run recorded a 0.0 hit rate.  Its replacement is
+# the eager ``(leaf_origin, root_org)`` memo in
+# :class:`repro.core.sharding.ShardClassifier`, which is consulted
+# above the category cache and actually hits.

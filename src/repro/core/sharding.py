@@ -1,19 +1,23 @@
-"""Sharded, process-parallel leaf classification.
+"""Sharded, process-parallel execution for the analysis engines.
 
-The §5 pipeline is embarrassingly parallel across leaves: every verdict
-depends only on the leaf, its root, and the (read-only) BGP/AS-data
-substrates.  This module partitions each region's classifiable leaves
-into shards, classifies shards across a ``ProcessPoolExecutor`` (fork
-start method — workers inherit the substrates, nothing is pickled in),
-and returns compact rows the pipeline reassembles into
-:class:`~repro.core.results.LeafInference` objects bit-for-bit equal to
-the serial output.
+Every fast engine in this package is embarrassingly parallel across its
+items: lease verdicts depend only on one leaf plus the read-only
+:class:`~repro.core.context.AnalysisContext`, legacy verdicts on one
+block, RPKI outcomes on one announcement.  This module provides the one
+generic fan-out they all share — :func:`run_sharded` partitions the
+items of every work unit into contiguous shards and runs a module-level
+``runner(payload, shard)`` across a ``ProcessPoolExecutor``.
 
-Each shard owns a :class:`ShardClassifier`: the memoized hot-path state
-(exact-origin index probes, covering-root resolution cached per root,
-assigned-ASN sets cached per organisation, category cache per origin
-triple, relatedness cache per AS pair).  Caches are pure memoization —
-they can never change a verdict, only the :class:`CacheStats` counters.
+The pool is start-method agnostic.  Under **fork**, workers inherit the
+payload through copy-on-write and nothing is pickled; under **spawn**
+(platforms without fork), the initializer ships the payload exactly once
+per worker — the payload is the pickle-cheap shared context plus compact
+key tuples, never record objects.  Both modes return shard outputs in
+plan order, so reassembly is deterministic regardless of scheduling.
+
+:class:`ShardClassifier` is the §5.2 hot path: one per shard (or per
+region, serially), all lookups served from the shared context, with
+four pure-memoization caches whose counters land in :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -22,28 +26,33 @@ import gc
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from ..bgp.rib import RoutingTable
 from ..net import Prefix
 from ..rir import RIR
-from ..whois.database import WhoisDatabase
-from .allocation_tree import TreeLeaf
-from .classify import Category, MemoizedClassifier
-from .relatedness import MemoizedRelatednessOracle, RelatednessOracle
+from .classify import Category
+from .context import AnalysisContext
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
     "CacheStats",
     "Shard",
     "ShardClassifier",
-    "WorkUnit",
     "plan_shards",
+    "fork_available",
     "effective_workers",
     "run_sharded",
 ]
 
-#: Leaves per shard when ``--shard-size`` is not given.  Small enough to
+#: Items per shard when ``--shard-size`` is not given.  Small enough to
 #: balance five unevenly sized regions across four workers, large enough
 #: that per-shard cache warm-up stays negligible.
 DEFAULT_SHARD_SIZE = 2048
@@ -104,17 +113,8 @@ class CacheStats:
 
 
 @dataclass(frozen=True)
-class WorkUnit:
-    """One region's classification input: its leaves plus its database."""
-
-    rir: RIR
-    database: WhoisDatabase
-    leaves: Sequence[TreeLeaf]
-
-
-@dataclass(frozen=True)
 class Shard:
-    """A contiguous slice of one work unit's leaves."""
+    """A contiguous slice of one work unit's items."""
 
     work_index: int
     start: int
@@ -124,53 +124,124 @@ class Shard:
         return self.stop - self.start
 
 
-#: What a worker sends back per leaf: the category name plus the three
-#: origin sets as sorted tuples.  Records and prefixes stay in the
-#: parent (inherited via fork), so IPC moves only small immutables.
+#: What a classification worker sends back per leaf: the category name
+#: plus the three origin sets as sorted tuples.  Records stay in the
+#: parent, so IPC moves only small immutables.
 _Row = Tuple[str, Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]
+
+_CategoryKey = Tuple[FrozenSet[int], FrozenSet[int], FrozenSet[int]]
 
 
 class ShardClassifier:
-    """Per-shard memoized classification state.
+    """Per-shard memoized §5.2 classification over the shared context.
 
-    Resolution per leaf mirrors ``LeaseInferencePipeline`` exactly:
-    exact origins for the leaf, exact-then-covering (or exact-only, when
-    the ablation flag is off) for the root, RIR-assigned ASNs of the
-    root organisation, then the §5.2 decision procedure.
+    Resolution per leaf mirrors the reference engine exactly: exact
+    origins for the leaf, exact-then-covering (or exact-only, when the
+    ablation flag is off) for the root, RIR-assigned ASNs of the root
+    organisation, then the §5.2 decision procedure.
+
+    The relatedness memo is keyed ``(leaf_origin, root_org)`` — "is this
+    origin related to any AS the root organisation registered?" — and is
+    consulted **eagerly for every originated leaf**, above the category
+    cache.  The previous per-AS-pair memo sat below the category cache
+    and never saw a repeated query (every ``BENCH_pipeline.json`` run
+    recorded a 0.0 hit rate); sibling leaves under one root re-ask this
+    origin/org question constantly, so this key actually hits.
     """
 
     def __init__(
         self,
-        database: WhoisDatabase,
-        routing_table: RoutingTable,
-        oracle: RelatednessOracle,
+        context: AnalysisContext,
+        rir: RIR,
         use_covering_root_lookup: bool = True,
     ) -> None:
-        self._database = database
-        self._routing_table = routing_table
-        self._exact = routing_table.exact_index()
+        self._context = context
+        self._rib = context.rib
+        self._assigned_of_org = context.assigned.get(rir, {})
         self._use_covering = use_covering_root_lookup
-        self._oracle = MemoizedRelatednessOracle.wrapping(oracle)
-        self._classifier = MemoizedClassifier(self._oracle)
         self._root_origins: Dict[Prefix, FrozenSet[int]] = {}
         self._assigned: Dict[Optional[str], FrozenSet[int]] = {}
+        self._related: Dict[Tuple[int, Optional[str]], bool] = {}
+        self._categories: Dict[_CategoryKey, Category] = {}
+        self._related_hits = 0
+        self._related_misses = 0
+        self._category_hits = 0
+        self._category_misses = 0
         self._root_hits = 0
         self._root_misses = 0
         self._assigned_hits = 0
         self._assigned_misses = 0
 
     def classify(
-        self, leaf: TreeLeaf
+        self,
+        prefix: Prefix,
+        root_prefix: Optional[Prefix],
+        root_org: Optional[str],
     ) -> Tuple[Category, FrozenSet[int], FrozenSet[int], FrozenSet[int]]:
-        """The verdict and origin triple for one leaf."""
-        origins = self._exact.get(leaf.prefix)
-        leaf_origins = frozenset(origins) if origins else _EMPTY
-        root_origins = self._resolve_root_origins(leaf.root_prefix)
-        root_assigned = self._resolve_assigned(leaf)
-        category = self._classifier.classify(
-            leaf_origins, root_origins, root_assigned
-        )
+        """The verdict and origin triple for one leaf key."""
+        leaf_origins = self._rib.exact_origins(prefix)
+        root_origins = self._resolve_root_origins(root_prefix)
+        root_assigned = self._resolve_assigned(root_org)
+        related_assigned = False
+        for origin in leaf_origins:
+            if self._related_to_assigned(origin, root_org, root_assigned):
+                related_assigned = True
+        key = (leaf_origins, root_origins, root_assigned)
+        category = self._categories.get(key)
+        if category is None:
+            self._category_misses += 1
+            category = self._decide(
+                leaf_origins, root_origins, related_assigned
+            )
+            self._categories[key] = category
+        else:
+            self._category_hits += 1
         return category, leaf_origins, root_origins, root_assigned
+
+    def _decide(
+        self,
+        leaf_origins: FrozenSet[int],
+        root_origins: FrozenSet[int],
+        related_assigned: bool,
+    ) -> Category:
+        """§5.2 with the assigned-relatedness clause precomputed.
+
+        ``related_assigned`` is exactly ``any_related(leaf_origins,
+        root_assigned)``; group 4's target set is the union of assigned
+        and root origins, so its test decomposes into ``related_assigned
+        or any_related(leaf_origins, root_origins)``.
+        """
+        if not leaf_origins and not root_origins:
+            return Category.UNUSED
+        if not leaf_origins:
+            return Category.AGGREGATED_CUSTOMER
+        if not root_origins:
+            if related_assigned:
+                return Category.ISP_CUSTOMER
+            return Category.LEASED_GROUP3
+        if related_assigned or self._context.any_related(
+            leaf_origins, root_origins
+        ):
+            return Category.DELEGATED_CUSTOMER
+        return Category.LEASED_GROUP4
+
+    def _related_to_assigned(
+        self,
+        origin: int,
+        root_org: Optional[str],
+        root_assigned: FrozenSet[int],
+    ) -> bool:
+        key = (origin, root_org)
+        answer = self._related.get(key)
+        if answer is None:
+            self._related_misses += 1
+            answer = not self._context.related_to(origin).isdisjoint(
+                root_assigned
+            )
+            self._related[key] = answer
+        else:
+            self._related_hits += 1
+        return answer
 
     def _resolve_root_origins(
         self, root_prefix: Optional[Prefix]
@@ -183,33 +254,31 @@ class ShardClassifier:
             return cached
         self._root_misses += 1
         if self._use_covering:
-            resolved = self._routing_table.covering_origins(root_prefix)
+            resolved = self._rib.covering_origins(root_prefix)
         else:
-            origins = self._exact.get(root_prefix)
-            resolved = frozenset(origins) if origins else _EMPTY
+            resolved = self._rib.exact_origins(root_prefix)
         self._root_origins[root_prefix] = resolved
         return resolved
 
-    def _resolve_assigned(self, leaf: TreeLeaf) -> FrozenSet[int]:
-        if leaf.root_record is None or leaf.root_record.org_id is None:
+    def _resolve_assigned(self, org_id: Optional[str]) -> FrozenSet[int]:
+        if not org_id:
             return _EMPTY
-        org_id = leaf.root_record.org_id
         cached = self._assigned.get(org_id)
         if cached is not None:
             self._assigned_hits += 1
             return cached
         self._assigned_misses += 1
-        resolved = frozenset(self._database.asns_of_org(org_id))
+        resolved = self._assigned_of_org.get(org_id, _EMPTY)
         self._assigned[org_id] = resolved
         return resolved
 
     def stats(self) -> CacheStats:
         """This shard's cache counters."""
         return CacheStats(
-            relatedness_hits=self._oracle.hits,
-            relatedness_misses=self._oracle.misses,
-            category_hits=self._classifier.hits,
-            category_misses=self._classifier.misses,
+            relatedness_hits=self._related_hits,
+            relatedness_misses=self._related_misses,
+            category_hits=self._category_hits,
+            category_misses=self._category_misses,
             root_origin_hits=self._root_hits,
             root_origin_misses=self._root_misses,
             assigned_hits=self._assigned_hits,
@@ -218,14 +287,14 @@ class ShardClassifier:
 
 
 def plan_shards(
-    leaf_counts: Sequence[int], shard_size: Optional[int] = None
+    unit_lengths: Sequence[int], shard_size: Optional[int] = None
 ) -> List[Shard]:
     """Slice each work unit into contiguous shards of ``shard_size``."""
     size = shard_size or DEFAULT_SHARD_SIZE
     if size < 1:
         raise ValueError(f"shard_size must be >= 1, got {size}")
     shards: List[Shard] = []
-    for work_index, count in enumerate(leaf_counts):
+    for work_index, count in enumerate(unit_lengths):
         for start in range(0, count, size):
             shards.append(
                 Shard(work_index, start, min(start + size, count))
@@ -239,43 +308,102 @@ def fork_available() -> bool:
 
 
 def effective_workers(
-    workers: int, total_leaves: int, shard_size: Optional[int] = None
+    workers: int, total_items: int, shard_size: Optional[int] = None
 ) -> int:
     """The worker count actually used: serial for small inputs.
 
-    One shard's worth of leaves (or fewer) never pays pool start-up;
-    platforms without fork (pickling the substrates to spawn workers
-    would dwarf the classification itself) always run serial.
+    One shard's worth of items (or fewer) never pays pool start-up.
+    Platforms without fork no longer force serial: the shared context is
+    spawn-safe, so the pool pickles it once per worker and proceeds.
     """
     if workers <= 1:
         return 1
-    if not fork_available():
-        return 1
-    if total_leaves <= (shard_size or DEFAULT_SHARD_SIZE):
+    if total_items <= (shard_size or DEFAULT_SHARD_SIZE):
         return 1
     return workers
 
 
-# Worker-side state, inherited through fork.  Set in the parent
-# immediately before the pool is created, cleared right after.
-_WORKER_STATE: Optional[
-    Tuple[Sequence[WorkUnit], RoutingTable, RelatednessOracle, bool]
-] = None
+# Worker-side state.  Under fork the initializer arguments are inherited
+# through the process image (nothing pickled); under spawn they are
+# pickled once per worker by the executor.
+_WORKER_STATE: Optional[Tuple[object, Callable[[object, Shard], object]]] = (
+    None
+)
 
 
-def _classify_shard(shard: Shard) -> Tuple[List[_Row], CacheStats]:
+def _init_worker(
+    payload: object, runner: Callable[[object, Shard], object]
+) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (payload, runner)
+
+
+def _run_shard(shard: Shard) -> object:
     state = _WORKER_STATE
-    if state is None:  # pragma: no cover - defensive; fork guarantees state
-        raise RuntimeError("worker has no inherited classification state")
-    work, routing_table, oracle, use_covering = state
-    unit = work[shard.work_index]
-    classifier = ShardClassifier(
-        unit.database, routing_table, oracle, use_covering
-    )
+    if state is None:  # pragma: no cover - defensive; initializer sets it
+        raise RuntimeError("worker pool was not initialized with a payload")
+    payload, runner = state
+    return runner(payload, shard)
+
+
+def run_sharded(
+    payload: object,
+    runner: Callable[[object, Shard], object],
+    unit_lengths: Sequence[int],
+    workers: int,
+    shard_size: Optional[int] = None,
+) -> Tuple[List[Shard], List[object]]:
+    """Run ``runner(payload, shard)`` across a process pool.
+
+    Returns the shard plan and, aligned with it, each shard's output in
+    item order — deterministic regardless of which worker ran what.
+    ``runner`` must be a module-level function (spawn pickles it by
+    reference) and ``payload`` must be picklable on spawn platforms;
+    under fork neither is ever serialized.
+    """
+    shards = plan_shards(unit_lengths, shard_size)
+    if not shards:
+        return [], []
+    pool_size = min(workers, len(shards))
+    use_fork = fork_available()
+    mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+    if use_fork:
+        # Freeze the inherited heap so worker GC passes skip it: without
+        # this, the first collection in each child walks every parent
+        # object and copy-on-write duplicates the whole heap — on large
+        # worlds that costs more than the classification itself.
+        gc.collect()
+        gc.freeze()
+    try:
+        with ProcessPoolExecutor(
+            max_workers=pool_size,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=(payload, runner),
+        ) as pool:
+            outputs = list(pool.map(_run_shard, shards))
+    finally:
+        if use_fork:
+            gc.unfreeze()
+    return shards, outputs
+
+
+def classify_shard_rows(
+    payload: Tuple[AnalysisContext, bool, Tuple[RIR, ...]], shard: Shard
+) -> Tuple[List[_Row], CacheStats]:
+    """Classify one shard of leaf keys from the shared context.
+
+    The module-level runner for the lease pipeline's parallel mode:
+    ``payload`` is ``(context, use_covering_root_lookup, rir_order)``
+    and ``shard.work_index`` indexes ``rir_order``.
+    """
+    context, use_covering, rir_order = payload
+    rir = rir_order[shard.work_index]
+    classifier = ShardClassifier(context, rir, use_covering)
     rows: List[_Row] = []
-    for leaf in unit.leaves[shard.start : shard.stop]:
+    for key in context.leaf_keys[rir][shard.start : shard.stop]:
         category, leaf_origins, root_origins, assigned = classifier.classify(
-            leaf
+            *key
         )
         rows.append(
             (
@@ -286,40 +414,3 @@ def _classify_shard(shard: Shard) -> Tuple[List[_Row], CacheStats]:
             )
         )
     return rows, classifier.stats()
-
-
-def run_sharded(
-    work: Sequence[WorkUnit],
-    routing_table: RoutingTable,
-    oracle: RelatednessOracle,
-    use_covering_root_lookup: bool,
-    workers: int,
-    shard_size: Optional[int] = None,
-) -> Tuple[List[Shard], List[Tuple[List[_Row], CacheStats]]]:
-    """Classify every work unit across a fork-based process pool.
-
-    Returns the shard plan and, aligned with it, each shard's rows in
-    leaf order — deterministic regardless of which worker ran what.
-    """
-    global _WORKER_STATE
-    shards = plan_shards([len(unit.leaves) for unit in work], shard_size)
-    if not shards:
-        return [], []
-    pool_size = min(workers, len(shards))
-    context = multiprocessing.get_context("fork")
-    _WORKER_STATE = (work, routing_table, oracle, use_covering_root_lookup)
-    # Freeze the inherited heap so worker GC passes skip it: without
-    # this, the first collection in each child walks every parent
-    # object and copy-on-write duplicates the whole heap — on large
-    # worlds that costs more than the classification itself.
-    gc.collect()
-    gc.freeze()
-    try:
-        with ProcessPoolExecutor(
-            max_workers=pool_size, mp_context=context
-        ) as pool:
-            outputs = list(pool.map(_classify_shard, shards))
-    finally:
-        _WORKER_STATE = None
-        gc.unfreeze()
-    return shards, outputs

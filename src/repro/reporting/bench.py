@@ -10,7 +10,14 @@ __all__ = ["render_bench_report"]
 
 
 def render_bench_report(report: Dict[str, object]) -> str:
-    """One table per benched world: wall, throughput, speedups, caches."""
+    """Tables per benched world: engine modes, then extension pipelines.
+
+    Accepts a single run payload (``{"worlds": [...]}``) or a v2
+    trajectory file (``{"runs": [...]}``), rendering the latest run.
+    """
+    runs = report.get("runs")  # type: ignore[union-attr]
+    if isinstance(runs, list) and runs:
+        report = runs[-1]
     sections: List[str] = []
     for world in report["worlds"]:  # type: ignore[union-attr]
         headers = (
@@ -51,7 +58,42 @@ def render_bench_report(report: Dict[str, object]) -> str:
             f"generate {world['stages']['generate_s']:.2f}s"
         )
         sections.append(render_table(headers, rows, title=title))
+        extensions = world.get("extensions")  # type: ignore[union-attr]
+        if extensions:
+            sections.append(_render_extensions(world["size"], extensions))
     return "\n\n".join(sections)
+
+
+def _render_extensions(size: object, extensions: Dict[str, object]) -> str:
+    headers = (
+        "pipeline",
+        "mode",
+        "workers",
+        "items",
+        "wall s",
+        "vs reference",
+        "ok",
+    )
+    rows = []
+    for pipeline in ("legacy", "rpki", "longitudinal"):
+        section = extensions.get(pipeline)
+        if not section:
+            continue
+        for mode in section["modes"]:  # type: ignore[index]
+            rows.append(
+                (
+                    pipeline,
+                    mode["mode"],
+                    mode["workers"],
+                    section["items"],  # type: ignore[index]
+                    f"{mode['wall_s']:.4f}",
+                    f"{mode['speedup_vs_reference']:.2f}x",
+                    "yes" if mode["equivalent"] else "NO",
+                )
+            )
+    return render_table(
+        headers, rows, title=f"Extension pipelines — {size} world"
+    )
 
 
 def _percent(rate: object) -> str:

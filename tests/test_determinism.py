@@ -92,8 +92,9 @@ class TestBenchSchemaDeterminism:
 
     def test_quick_payload_sanity(self, quick_reports):
         report = quick_reports[0]
-        assert report["schema"] == {"name": "BENCH_pipeline", "version": 1}
+        assert report["schema"] == {"name": "BENCH_pipeline", "version": 2}
         assert report["config"]["quick"] is True
+        assert report["config"]["extensions"] is True
         assert all_equivalent(report)
         (world,) = report["worlds"]
         assert world["size"] == "small"
@@ -104,6 +105,33 @@ class TestBenchSchemaDeterminism:
             assert mode["equivalent"] is True
             assert mode["wall_s"] > 0
             assert mode["leaves_per_s"] > 0
+
+    def test_relatedness_cache_hits(self, quick_reports):
+        # Satellite: the re-keyed relatedness memo must report a nonzero
+        # hit rate in the bench payload (it was 0.0 in every v1 run).
+        (world,) = quick_reports[0]["worlds"]
+        serial = next(
+            mode for mode in world["modes"] if mode["mode"] == "serial"
+        )
+        assert serial["cache"]["hit_rates"]["relatedness"] > 0.0
+
+    def test_extension_sections(self, quick_reports):
+        (world,) = quick_reports[0]["worlds"]
+        extensions = world["extensions"]
+        assert set(extensions) == {"legacy", "rpki", "longitudinal"}
+        for section in extensions.values():
+            assert [mode["mode"] for mode in section["modes"]] == [
+                "reference", "serial", "parallel-2",
+            ]
+            for mode in section["modes"]:
+                assert mode["equivalent"] is True
+                assert mode["wall_s"] >= 0
+
+    def test_no_extensions_flag(self):
+        report = run_benchmark(quick=True, seed=3, extensions=False)
+        assert report["config"]["extensions"] is False
+        assert "extensions" not in report["worlds"][0]
+        assert all_equivalent(report)
 
     def test_digests_deterministic_across_runs(self, quick_reports):
         # Identical classification counts both runs (not just shape).
@@ -119,16 +147,43 @@ class TestBenchCli:
         from repro.cli import main
 
         out = tmp_path / "BENCH_smoke.json"
-        rc = main(["bench", "--quick", "--out", str(out), "--seed", "3"])
+        rc = main(["bench", "--quick", "--out", str(out), "--seed", "3",
+                   "--no-extensions"])
         captured = capsys.readouterr().out
         assert rc == 0
         assert out.exists()
         import json
 
         payload = json.loads(out.read_text())
-        assert payload["schema"]["name"] == "BENCH_pipeline"
+        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 2}
+        assert len(payload["runs"]) == 1
         assert "Pipeline bench" in captured
         assert f"wrote {out}" in captured
+
+    def test_bench_appends_to_trajectory(self, tmp_path):
+        """Satellite: BENCH_pipeline.json is a trajectory now — a second
+        run appends instead of overwriting, and a v1 single-run file is
+        migrated to runs[0]."""
+        import json
+
+        from repro.bench import write_benchmark
+
+        out = tmp_path / "BENCH.json"
+        v1_payload = {
+            "schema": {"name": "BENCH_pipeline", "version": 1},
+            "config": {"quick": True},
+            "worlds": [{"size": "small", "modes": []}],
+        }
+        out.write_text(json.dumps(v1_payload))
+        run = run_benchmark(quick=True, seed=3, extensions=False)
+        write_benchmark(run, out)
+        write_benchmark(run, out)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 2}
+        assert len(payload["runs"]) == 3
+        # the migrated v1 run keeps its original stamp as provenance
+        assert payload["runs"][0]["schema"]["version"] == 1
+        assert payload["runs"][1]["schema"]["version"] == 2
 
     def test_bad_size_and_workers_are_rejected(self, tmp_path, capsys):
         from repro.cli import main

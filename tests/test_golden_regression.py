@@ -8,7 +8,8 @@ after an intentional change::
     PYTHONPATH=src python -m repro.cli infer --data <dir> --json \
         > tests/golden/table1_small_world.json
 
-(and likewise ``evaluate`` for table 2), with ``<dir>`` written by
+(and likewise ``evaluate`` for table 2, ``legacy`` and ``rpki`` for
+the extension-pipeline fixtures), with ``<dir>`` written by
 ``repro generate --small --seed 7``.
 """
 
@@ -62,11 +63,44 @@ class TestGoldenTables:
         assert produced == _golden("table2_small_world.json")
 
 
+class TestGoldenExtensionPipelines:
+    """Legacy and RPKI pipeline outputs are pinned for both the
+    frozen-reference path (serial, default) and the sharded engine."""
+
+    def test_legacy_matches_golden(self, data_dir):
+        produced = _cli_json(["legacy", "--data", str(data_dir), "--json"])
+        assert produced == _golden("legacy_small_world.json")
+
+    def test_legacy_parallel_matches_golden(self, data_dir):
+        produced = _cli_json([
+            "legacy", "--data", str(data_dir), "--json",
+            "--workers", "2", "--shard-size", "1",
+        ])
+        assert produced == _golden("legacy_small_world.json")
+
+    def test_rpki_matches_golden(self, data_dir):
+        produced = _cli_json(["rpki", "--data", str(data_dir), "--json"])
+        assert produced == _golden("rpki_small_world.json")
+
+    def test_rpki_parallel_matches_golden(self, data_dir):
+        produced = _cli_json([
+            "rpki", "--data", str(data_dir), "--json",
+            "--workers", "2", "--shard-size", "16",
+        ])
+        assert produced == _golden("rpki_small_world.json")
+
+
 class TestGoldenFixtureHygiene:
     """The fixtures themselves must stay diffable: integers only."""
 
     @pytest.mark.parametrize(
-        "name", ["table1_small_world.json", "table2_small_world.json"]
+        "name",
+        [
+            "table1_small_world.json",
+            "table2_small_world.json",
+            "legacy_small_world.json",
+            "rpki_small_world.json",
+        ],
     )
     def test_fixture_is_integer_only(self, name):
         def check(value, path="$"):

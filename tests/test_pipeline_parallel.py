@@ -1,13 +1,15 @@
 """Tests for the sharded inference pipeline and its substrate.
 
-Covers the fast engine (AllocationScan + ShardClassifier) against the
-frozen reference engine, the parallel path against the serial path,
-the memoization layers, shard planning, the routing-table exact index,
+Covers the fast engine (AnalysisContext + ShardClassifier) against the
+frozen reference engine, the parallel path against the serial path —
+including forced spawn mode — the shared-context snapshots, the
+memoization layers, shard planning, the routing-table exact index,
 InferenceResult merge semantics, and the reserve address pools that
 make worlds scalable.
 """
 
 import dataclasses
+import pickle
 
 import pytest
 
@@ -15,18 +17,20 @@ from repro.asdata import AS2Org, ASRelationships
 from repro.bgp import P2C, RoutingTable
 from repro.core import (
     AllocationScan,
+    AnalysisContext,
     CacheStats,
     Category,
     LeaseInferencePipeline,
     MemoizedClassifier,
-    MemoizedRelatednessOracle,
     RelatednessOracle,
+    RibSnapshot,
     effective_workers,
     infer_leases,
     plan_shards,
 )
 from repro.core.allocation_tree import AllocationTree
 from repro.core.classify import classify_leaf
+from repro.core.context import build_related_sets
 from repro.core.results import InferenceResult
 from repro.net import Prefix
 from repro.rir import RIR
@@ -144,6 +148,107 @@ class TestEngineEquivalence:
         assert set(pipeline.timings) == {"tree_build_s", "classify_s"}
         assert all(value >= 0 for value in pipeline.timings.values())
 
+    def test_spawn_mode_matches_serial(self, world, monkeypatch):
+        """Satellite: without fork, the sharded engine must still match.
+
+        Forcing ``fork_available()`` false makes ``run_sharded`` build a
+        real spawn pool, which exercises pickling the shared context to
+        the workers.
+        """
+        import repro.core.sharding as sharding
+
+        serial = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        ).run(workers=1)
+        monkeypatch.setattr(
+            sharding.multiprocessing,
+            "get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        monkeypatch.setattr(
+            sharding.multiprocessing,
+            "get_start_method",
+            lambda allow_none=False: "spawn",
+        )
+        assert not sharding.fork_available()
+        spawned = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        ).run(workers=2, shard_size=16)
+        assert _rows(spawned) == _rows(serial)
+
+    def test_run_reuses_supplied_context(self, world, pipeline):
+        serial = pipeline.run(workers=1)
+        context = pipeline.context
+        assert context is not None
+        fresh = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        reused = fresh.run(workers=1, context=context)
+        assert fresh.context is context
+        assert _rows(reused) == _rows(serial)
+
+
+class TestAnalysisContext:
+    """The shared snapshot must mirror its live substrates exactly."""
+
+    @pytest.fixture(scope="class")
+    def context(self, world):
+        return AnalysisContext.build(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+
+    def test_rib_snapshot_matches_routing_table(self, world, context):
+        table = world.routing_table
+        probes = set()
+        for prefix in table.prefixes():
+            probes.add(prefix)
+            if prefix.length < 28:
+                probes.add(prefix.nth_subnet(prefix.length + 2, 1))
+            if prefix.length > 2:
+                probes.add(prefix.supernet(prefix.length - 2))
+        for probe in probes:
+            assert context.rib.exact_origins(probe) == frozenset(
+                table.exact_origins(probe)
+            )
+            assert context.rib.covering_origins(probe) == frozenset(
+                table.covering_origins(probe)
+            )
+
+    def test_related_sets_match_oracle(self, world, context):
+        oracle = RelatednessOracle(world.relationships, world.as2org)
+        sample = sorted(world.relationships.asns())[:40]
+        for left in sample:
+            family = context.related_to(left)
+            for right in sample:
+                assert oracle.related(left, right) == (right in family)
+
+    def test_assigned_matches_database(self, world, context):
+        for rir in context.rirs:
+            database = world.whois[rir]
+            for org_id, asns in context.assigned[rir].items():
+                assert asns == frozenset(database.asns_of_org(org_id))
+
+    def test_pickle_drops_leaf_records(self, context):
+        clone = pickle.loads(pickle.dumps(context))
+        assert clone.leaf_keys == context.leaf_keys
+        assert clone.related_sets == context.related_sets
+        assert clone.rib.covering_origins(
+            Prefix.parse("0.0.0.0/0")
+        ) == context.rib.covering_origins(Prefix.parse("0.0.0.0/0"))
+        with pytest.raises(RuntimeError, match="stripped"):
+            clone.leaves(context.rirs[0])
+
+    def test_build_related_sets_contains_self(self, world):
+        related = build_related_sets(world.relationships, world.as2org)
+        assert related
+        assert all(asn in family for asn, family in related.items())
+
 
 class TestAllocationScan:
     """The sorted-scan tree must agree with the pointer tree everywhere."""
@@ -204,6 +309,44 @@ class TestRoutingTableIndex:
         assert len(table) == count_before - 2
         assert 65002 not in table.origins()
 
+    def test_interleaved_announce_withdraw_consistency(self):
+        """Satellite: exact and covering lookups (and the exact index the
+        snapshots are built from) must agree after any announce/withdraw
+        interleaving."""
+        p16 = Prefix.parse("10.0.0.0/16")
+        p20 = Prefix.parse("10.0.16.0/20")
+        p24 = Prefix.parse("10.0.1.0/24")
+        p24b = Prefix.parse("10.0.16.0/24")
+        probes = [p16, p20, p24, p24b, Prefix.parse("10.0.2.0/24")]
+        operations = [
+            ("announce", p16, 65001),
+            ("announce", p24, 65002),
+            ("announce", p24, 65003),
+            ("withdraw", p24, None),
+            ("announce", p20, 65004),
+            ("announce", p24b, 65005),
+            ("withdraw", p16, None),
+            ("announce", p24, 65006),
+            ("announce", p16, 65007),
+            ("withdraw", p24b, None),
+            ("withdraw", p20, None),
+        ]
+        table = RoutingTable()
+        for action, prefix, origin in operations:
+            if action == "announce":
+                table.add_route(prefix, origin)
+            else:
+                assert table.withdraw(prefix) is True
+            snapshot = RibSnapshot.from_routing_table(table)
+            for probe in probes:
+                exact = frozenset(table.exact_origins(probe))
+                covering = frozenset(table.covering_origins(probe))
+                assert snapshot.exact_origins(probe) == exact
+                assert snapshot.covering_origins(probe) == covering
+                if exact:
+                    assert covering == exact
+                assert (probe in table.exact_index()) == bool(exact)
+
 
 class TestMemoization:
     def _oracle(self):
@@ -215,13 +358,17 @@ class TestMemoization:
         as2org.map_asn(400, "ORG-X")
         return RelatednessOracle(relationships, as2org)
 
-    def test_memoized_oracle_is_transparent(self):
-        plain = self._oracle()
-        memo = MemoizedRelatednessOracle.wrapping(plain)
-        for pair in [(100, 200), (300, 400), (100, 400), (100, 200)]:
-            assert memo.related(*pair) == plain.related(*pair)
-        assert memo.hits == 1  # the repeated (100, 200)
-        assert memo.misses == 3
+    def test_relatedness_cache_hits_on_real_world(self, world):
+        """Satellite: the re-keyed (leaf_origin, root_org) memo must
+        actually hit — the old per-AS-pair memo recorded 0.0 forever."""
+        fresh = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        fresh.run(workers=1)
+        stats = fresh.cache_stats()
+        assert stats.relatedness_hits > 0
+        assert stats.hit_rates()["relatedness"] > 0.0
 
     def test_memoized_classifier_is_transparent(self):
         oracle = self._oracle()
@@ -273,15 +420,15 @@ class TestShardPlanning:
         assert plan_shards([0, 0], shard_size=4) == []
 
     def test_effective_workers_serial_cases(self):
-        assert effective_workers(1, total_leaves=10_000, shard_size=16) == 1
-        assert effective_workers(0, total_leaves=10_000, shard_size=16) == 1
+        assert effective_workers(1, total_items=10_000, shard_size=16) == 1
+        assert effective_workers(0, total_items=10_000, shard_size=16) == 1
         # one shard's worth of work is not worth a pool
-        assert effective_workers(4, total_leaves=10, shard_size=16) == 1
+        assert effective_workers(4, total_items=10, shard_size=16) == 1
 
     def test_effective_workers_parallel_case(self):
-        assert effective_workers(4, total_leaves=10_000, shard_size=16) in (
-            1, 4,
-        )  # 1 only where fork is unavailable
+        # No fork gate any more: the context is spawn-safe, so the pool
+        # runs wherever a start method exists.
+        assert effective_workers(4, total_items=10_000, shard_size=16) == 4
 
 
 class TestInferenceResultOps:
