@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint docs bench bench-pipeline report data clean
+.PHONY: install test coverage lint docs bench bench-pipeline bench-serve report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -24,6 +24,9 @@ bench:
 
 bench-pipeline:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --out BENCH_pipeline.json
+
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli loadgen --out BENCH_serve.json
 
 report:
 	$(PYTHON) -m repro.cli report --out REPORT.md

@@ -49,6 +49,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_WORKER_COUNTS",
     "all_equivalent",
+    "append_trajectory",
     "load_trajectory",
     "run_benchmark",
     "write_benchmark",
@@ -507,21 +508,33 @@ def load_trajectory(path: Path) -> List[Dict[str, object]]:
     return []
 
 
-def write_benchmark(report: Dict[str, object], path: Path) -> None:
-    """Append the run to the trajectory at *path* (pretty, key-stable).
+def append_trajectory(
+    report: Dict[str, object],
+    path: Path,
+    name: str,
+    version: int = SCHEMA_VERSION,
+) -> None:
+    """Append one run payload to the schema-v2 trajectory at *path*.
 
-    The file accumulates one entry per benchmark run —
-    ``{"schema": ..., "runs": [oldest, ..., newest]}`` — so the perf
-    history behind the repo survives regeneration instead of being
-    overwritten.  Pre-v2 single-run files are migrated in place.
+    The file accumulates one entry per run —
+    ``{"schema": {"name": ..., "version": ...}, "runs": [oldest, ...,
+    newest]}`` — so a perf history survives regeneration instead of
+    being overwritten.  Pre-v2 single-run files are migrated in place.
+    Shared by the pipeline bench (``BENCH_pipeline.json``) and the
+    serving load generator (``BENCH_serve.json``).
     """
     runs = load_trajectory(path)
     runs.append(report)
     payload = {
-        "schema": {"name": "BENCH_pipeline", "version": SCHEMA_VERSION},
+        "schema": {"name": name, "version": version},
         "runs": runs,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def write_benchmark(report: Dict[str, object], path: Path) -> None:
+    """Append the run to the ``BENCH_pipeline.json`` trajectory."""
+    append_trajectory(report, path, "BENCH_pipeline", SCHEMA_VERSION)
 
 
 def schema_shape(value: object) -> object:

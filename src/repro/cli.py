@@ -67,6 +67,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-all": _cmd_run_all,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     return handler(args)
 
@@ -236,6 +238,74 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-extensions",
         action="store_true",
         help="skip the legacy/RPKI/longitudinal pipeline timings",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve lease lookups over HTTP from an inference snapshot",
+    )
+    add_scenario_options(serve)
+    add_worker_options(serve)
+    serve.add_argument(
+        "--data",
+        type=Path,
+        default=None,
+        help="serve a generated dataset directory instead of a scenario",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8473)
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU response-cache capacity (default 1024)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="self-host a snapshot and record serve throughput/latency",
+    )
+    loadgen.add_argument(
+        "--data",
+        type=Path,
+        default=None,
+        help="load-test a generated dataset directory (default: small world)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="seconds of closed-loop load (default 5)",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="stop after this many requests instead of --duration",
+    )
+    loadgen.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="query-mix seed (also the in-memory world seed)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="closed-loop client connections (default 4)",
+    )
+    loadgen.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="LRU response-cache capacity (default 1024)",
+    )
+    loadgen.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_serve.json"),
+        help="trajectory file to append to (default BENCH_serve.json)",
     )
 
     report = sub.add_parser(
@@ -460,6 +530,110 @@ def _cmd_rpki(args: argparse.Namespace) -> int:
             f"valid {profile.valid_share:6.1%}  "
             f"covered {profile.covered_share:6.1%}"
         )
+    return 0
+
+
+def _lease_index(args: argparse.Namespace, scenario=None):
+    """Build a :class:`LeaseIndex` snapshot from ``--data`` or a scenario."""
+    from .core import LeaseInferencePipeline
+    from .serve import LeaseIndex
+
+    if getattr(args, "data", None) is not None:
+        bundle = load_datasets(args.data)
+        pipeline = LeaseInferencePipeline(
+            bundle.whois,
+            bundle.routing_table,
+            bundle.relationships,
+            bundle.as2org,
+        )
+        label = str(args.data)
+    else:
+        world = build_world(
+            scenario if scenario is not None else _scenario(args)
+        )
+        pipeline = LeaseInferencePipeline(
+            world.whois,
+            world.routing_table,
+            world.relationships,
+            world.as2org,
+        )
+        label = "small world" if scenario is not None or getattr(
+            args, "small", False
+        ) else f"paper world (1/{args.scale})"
+    result = pipeline.run(
+        workers=getattr(args, "workers", 1),
+        shard_size=getattr(args, "shard_size", None),
+    )
+    assert pipeline.context is not None
+    return LeaseIndex.build(pipeline.context, result), label
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DEFAULT_CACHE_SIZE, LeaseQueryServer, SnapshotManager
+
+    index, label = _lease_index(args)
+    manager = SnapshotManager(index)
+    cache_size = (
+        args.cache_size if args.cache_size is not None else DEFAULT_CACHE_SIZE
+    )
+    server = LeaseQueryServer(
+        manager, host=args.host, port=args.port, cache_size=cache_size
+    )
+    return _serve_forever(server, index, label)
+
+
+def _serve_forever(server, index, label: str) -> int:
+    """Run the query service in the foreground until interrupted."""
+    import asyncio
+
+    async def main() -> None:
+        host, port = await server.start_async()
+        print(
+            f"serving {len(index):,} classified leaves ({label}) "
+            f"on http://{host}:{port} "
+            f"(generation {server.manager.generation})"
+        )
+        await server.run_async()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .bench import append_trajectory
+    from .reporting import render_serve_report
+    from .serve import DEFAULT_CACHE_SIZE, run_loadgen, validate_serve_run
+    from .serve.loadgen import SERVE_SCHEMA_VERSION
+
+    scenario = None if args.data is not None else small_world(seed=args.seed)
+    index, label = _lease_index(args, scenario=scenario)
+    payload = run_loadgen(
+        index,
+        duration_s=args.duration,
+        requests=args.requests,
+        seed=args.seed,
+        concurrency=args.concurrency,
+        cache_size=(
+            args.cache_size
+            if args.cache_size is not None
+            else DEFAULT_CACHE_SIZE
+        ),
+        world=label,
+    )
+    append_trajectory(payload, args.out, "BENCH_serve", SERVE_SCHEMA_VERSION)
+    print(render_serve_report(payload))
+    print(f"wrote {args.out}")
+    problems = validate_serve_run(payload)
+    if problems:
+        for problem in problems:
+            print(f"schema problem: {problem}")
+        return 1
+    if payload["totals"]["errors"]:
+        print("FAIL: load run recorded unexpected response statuses")
+        return 1
     return 0
 
 

@@ -260,6 +260,22 @@ class AnalysisContext:
             not self.related_to(left).isdisjoint(rights) for left in lefts
         )
 
+    def related_pair(
+        self, lefts: Iterable[int], rights: FrozenSet[int]
+    ) -> Optional[Tuple[int, int]]:
+        """The lowest-numbered related ``(left, right)`` pair, or None.
+
+        The serving layer surfaces this pair as the relatedness verdict
+        behind a Delegated/ISP-customer answer: *which* leaf origin was
+        related to *which* root-side AS.  Deterministic (ascending AS
+        number) so identical snapshots explain answers identically.
+        """
+        for left in sorted(lefts):
+            hits = self.related_to(left) & rights
+            if hits:
+                return left, min(hits)
+        return None
+
     # -- registry lookups -------------------------------------------------
     def assigned_asns(self, rir: RIR, org_id: Optional[str]) -> FrozenSet[int]:
         """RIR-assigned ASNs of *org_id* in *rir* (§5.1 step 3)."""

@@ -52,6 +52,36 @@ class LeafInference:
         """BGP origin AS(es) of the leaf prefix."""
         return self.leaf_origins
 
+    def to_payload(self) -> Dict[str, object]:
+        """The JSON-ready answer for this verdict (the serving layer).
+
+        Carries the classification *and* the §5.1 lookups it was derived
+        from — leaf/root origins and the root organisation's assigned
+        ASNs — so a query service can explain every answer it serves.
+        """
+        return {
+            "prefix": str(self.prefix),
+            "rir": self.rir.name,
+            "category": self.category.label,
+            "category_code": self.category.name,
+            "group": self.category.group,
+            "leased": self.category.is_leased,
+            "status": self.record.status,
+            "net_name": self.record.net_name,
+            "holder_org": self.holder_org_id,
+            "facilitators": list(self.facilitator_handles),
+            "evidence": {
+                "leaf_origins": sorted(self.leaf_origins),
+                "root_prefix": (
+                    str(self.root_prefix)
+                    if self.root_prefix is not None
+                    else None
+                ),
+                "root_origins": sorted(self.root_origins),
+                "root_assigned_asns": sorted(self.root_assigned_asns),
+            },
+        }
+
 
 @dataclass
 class RegionalTally:

@@ -20,6 +20,7 @@ __all__ = [
     "MoasConflictRule",
     "HyperSpecificAnnouncementRule",
     "UnknownOriginRelationshipRule",
+    "AbusiveLeafOriginRule",
 ]
 
 
@@ -173,3 +174,50 @@ class UnknownOriginRelationshipRule(_BgpRule):
                     ),
                     location="as-rel",
                 )
+
+
+@register_rule
+class AbusiveLeafOriginRule(_BgpRule):
+    """An allocation-tree leaf is originated by an AS on the Spamhaus
+    ASN-DROP list or the serial-hijacker list (§6.3).  The paper ties
+    leased space to abuse precisely through this overlap, so a hit is
+    not noise — but it means the leaf's classification rests on an
+    origin whose announcements may themselves be hijacks, and the
+    holder-to-origin relatedness verdict should be read with care.
+
+    Remediation: none at ingest; cross-check the leaf against the
+    facilitator attribution (§6) and, if the origin also fails RPKI
+    validation, treat the announcement as a likely hijack rather than
+    a lease.
+    """
+
+    code = "B206"
+    title = "leaf originated by DROP-listed or serial-hijacker AS"
+    default_severity = Severity.WARNING
+
+    def check(self, context: DiagnosticContext) -> Iterator[Diagnostic]:
+        if context.routing_table is None:
+            return
+        if context.drop is None and context.hijackers is None:
+            return
+        for tree in context.trees().values():
+            for leaf in tree.classifiable_leaves():
+                origins = context.routing_table.exact_origins(leaf.prefix)
+                for origin in sorted(origins):
+                    lists = []
+                    if context.drop is not None and origin in context.drop:
+                        lists.append("ASN-DROP")
+                    if (
+                        context.hijackers is not None
+                        and origin in context.hijackers
+                    ):
+                        lists.append("serial-hijacker")
+                    if lists:
+                        yield self.finding(
+                            subject=str(leaf.prefix),
+                            message=(
+                                f"originated by AS{origin}, listed on "
+                                f"{' and '.join(lists)}"
+                            ),
+                            location="rib",
+                        )

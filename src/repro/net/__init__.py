@@ -9,7 +9,7 @@ from .ipaddr import (
     parse_address,
 )
 from .ipset import IPSet
-from .radix import PrefixTrie
+from .radix import PrefixTrie, resolve_covering_chain
 from .ranges import AddressRange, prefixes_to_ranges, range_to_prefixes
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "parse_address",
     "prefixes_to_ranges",
     "range_to_prefixes",
+    "resolve_covering_chain",
 ]

@@ -17,7 +17,7 @@ from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from .ipaddr import Prefix
 
-__all__ = ["PrefixTrie"]
+__all__ = ["PrefixTrie", "resolve_covering_chain"]
 
 V = TypeVar("V")
 
@@ -64,15 +64,37 @@ class PrefixTrie(Generic[V]):
     def remove(self, prefix: Prefix) -> bool:
         """Delete *prefix*; returns False when it was not stored.
 
-        Interior nodes left empty are not pruned — deletion is rare in the
-        pipeline and lookups skip non-entry nodes anyway.
+        Removal keeps every lookup exact: a removed interior entry no
+        longer appears in ``covering``/``longest_match`` chains (its
+        stored descendants are answered through it transparently), and
+        childless branches left behind are pruned so that repeated
+        insert/remove cycles — a hot-reload diffing snapshots — cannot
+        grow the trie without bound.
         """
-        node = self._find_node(prefix)
-        if node is None or node.prefix is None:
+        path: List[Tuple[_Node[V], int]] = []
+        node = self._root
+        for depth in range(prefix.length):
+            branch = _bit(prefix.network, depth)
+            child = node.children[branch]
+            if child is None:
+                return False
+            path.append((node, branch))
+            node = child
+        if node.prefix is None:
             return False
         node.prefix = None
         node.value = None
         self._size -= 1
+        # Prune the now-useless tail: walk back towards the root, cutting
+        # nodes that hold no entry and no children.
+        for parent, branch in reversed(path):
+            child = parent.children[branch]
+            if child is not None and (
+                child.prefix is not None
+                or any(grand is not None for grand in child.children)
+            ):
+                break
+            parent.children[branch] = None
         return True
 
     # -- basic queries -------------------------------------------------------
@@ -244,3 +266,20 @@ class PrefixTrie(Generic[V]):
         for prefix, value in items:
             trie.insert(prefix, value)
         return trie
+
+
+def resolve_covering_chain(
+    trie: PrefixTrie[V], prefix: Prefix
+) -> Tuple[Optional[Tuple[Prefix, V]], List[Tuple[Prefix, V]]]:
+    """Resolve *prefix* against *trie* as ``(best, chain)``.
+
+    ``chain`` holds every stored entry covering *prefix*, least-specific
+    first — the registry-style covering chain; ``best`` is its final,
+    most-specific element (the longest-prefix match), or ``None`` when
+    nothing covers the query.  The RFC 3912 WHOIS server and the lease
+    lookup service share this helper so both resolve queries through
+    identical semantics.
+    """
+    chain = trie.covering(prefix)
+    best = chain[-1] if chain else None
+    return best, chain

@@ -1,0 +1,24 @@
+"""The lease-lookup query service over precomputed inference snapshots.
+
+The batch pipeline produces tables; this subsystem makes them *askable*:
+one run is frozen into an immutable :class:`LeaseIndex` snapshot
+(:mod:`~repro.serve.index`), served over an asyncio HTTP/JSON API
+(:mod:`~repro.serve.http`), hot-swapped atomically between generations
+(:mod:`~repro.serve.reload`), and benchmarked by a seeded closed-loop
+load generator (:mod:`~repro.serve.loadgen`).  See ``docs/SERVING.md``.
+"""
+
+from .http import DEFAULT_CACHE_SIZE, MAX_BULK, LeaseQueryServer
+from .index import LeaseIndex
+from .loadgen import run_loadgen, validate_serve_run
+from .reload import SnapshotManager
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "MAX_BULK",
+    "LeaseIndex",
+    "LeaseQueryServer",
+    "SnapshotManager",
+    "run_loadgen",
+    "validate_serve_run",
+]

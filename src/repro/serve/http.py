@@ -1,0 +1,503 @@
+"""The lease-lookup HTTP/JSON API over ``asyncio`` streams (stdlib only).
+
+Endpoints (all responses are JSON unless noted):
+
+* ``GET /v1/prefix/{cidr}`` — exact / longest-prefix answer with the
+  covering chain and full classification evidence,
+* ``GET /v1/asn/{asn}`` — every leaf originated by the AS,
+* ``GET /v1/org/{handle}`` — every leaf held by the organisation,
+* ``POST /v1/bulk`` — batched prefix lookups
+  (``{"prefixes": [...]}``, at most :data:`MAX_BULK` per call),
+* ``GET /v1/stats`` — snapshot, cache, and per-endpoint counters,
+* ``GET /healthz`` — liveness plus the published generation,
+* ``GET /metrics`` — Prometheus-style text exposition.
+
+Lookup responses are served through a bounded LRU cache keyed by
+``(generation, path)`` — a hot-reload implicitly invalidates it because
+new generations never match old keys, while the LRU bound evicts stale
+generations' entries under pressure.  Per-endpoint request, error, and
+latency counters feed ``/v1/stats`` and ``/metrics``.
+
+The server runs on one event loop.  :meth:`LeaseQueryServer.start`
+spins that loop on a daemon thread (tests, the load generator);
+:meth:`LeaseQueryServer.run_async` serves in the caller's loop
+(``repro serve``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+from urllib.parse import unquote
+
+from .index import LeaseIndex, parse_asn_text
+from .reload import SnapshotManager
+
+__all__ = ["LeaseQueryServer", "DEFAULT_CACHE_SIZE", "MAX_BULK"]
+
+#: LRU response-cache capacity (entries) unless overridden.
+DEFAULT_CACHE_SIZE = 1024
+
+#: Largest accepted ``/v1/bulk`` batch.
+MAX_BULK = 256
+
+#: Largest accepted request body (bytes).
+_MAX_BODY = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+Payload = Dict[str, object]
+
+
+class ResponseCache:
+    """A bounded LRU over computed lookup answers."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(0, capacity)
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Payload]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple[int, str]) -> Optional[Tuple[int, Payload]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple[int, str], value: Tuple[int, Payload]) -> None:
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Payload:
+        total = self.hits + self.misses
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+        }
+
+
+class EndpointCounters:
+    """Request / error / latency tallies per logical endpoint."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Dict[str, float]] = {}
+
+    def observe(self, endpoint: str, status: int, elapsed_s: float) -> None:
+        entry = self._counters.setdefault(
+            endpoint,
+            {"requests": 0, "errors": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        entry["requests"] += 1
+        if status >= 400:
+            entry["errors"] += 1
+        entry["total_s"] += elapsed_s
+        entry["max_s"] = max(entry["max_s"], elapsed_s)
+
+    def as_dict(self) -> Dict[str, Payload]:
+        result: Dict[str, Payload] = {}
+        for endpoint in sorted(self._counters):
+            entry = self._counters[endpoint]
+            result[endpoint] = {
+                "requests": int(entry["requests"]),
+                "errors": int(entry["errors"]),
+                "total_ms": round(entry["total_s"] * 1000.0, 3),
+                "max_ms": round(entry["max_s"] * 1000.0, 3),
+            }
+        return result
+
+
+class LeaseQueryServer:
+    """Serves :class:`LeaseIndex` snapshots over HTTP/1.1 (keep-alive)."""
+
+    def __init__(
+        self,
+        manager: SnapshotManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self.cache = ResponseCache(cache_size)
+        self.counters = EndpointCounters()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        #: Test hook: when positive, every request sleeps this long
+        #: *after* capturing its snapshot — lets tests land a hot-swap
+        #: mid-flight deterministically.
+        self._snapshot_hold_s = 0.0
+
+    # -- lifecycle (caller's event loop) -----------------------------------
+    async def start_async(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        return self._address
+
+    async def run_async(self) -> None:
+        """Bind (if needed) and serve until cancelled (``repro serve``)."""
+        if self._server is None:
+            await self.start_async()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- lifecycle (background thread) -------------------------------------
+    def start(self) -> "LeaseQueryServer":
+        """Serve on a daemon thread with its own loop; returns self."""
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if not self._started.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("lease query server failed to start")
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.run_until_complete(self.start_async())
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            assert self._server is not None
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop the background thread's loop and join it."""
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._thread = None
+            self._loop = None
+
+    def __enter__(self) -> "LeaseQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._address is None:
+            raise RuntimeError("server not started")
+        return self._address
+
+    # -- connection handling ------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                try:
+                    status, payload, content_type = await self._dispatch(
+                        method, target, body
+                    )
+                except Exception:  # noqa: BLE001 - request must get an answer
+                    status = 500
+                    payload = json.dumps(
+                        {"error": "internal server error"}
+                    ).encode("utf-8")
+                    content_type = "application/json"
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                await self._write_response(
+                    writer, status, payload, content_type, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """One parsed request, or None at end-of-stream."""
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return "GET", "/__malformed__", {"connection": "close"}, b""
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            header_line = await reader.readline()
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header_line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length_text = headers.get("content-length", "0")
+        length = int(length_text) if length_text.isdigit() else 0
+        if length:
+            if length > _MAX_BODY:
+                return method, "/__too_large__", {"connection": "close"}, b""
+            body = await reader.readexactly(length)
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str,
+        keep_alive: bool,
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, bytes, str]:
+        """Route one request; returns ``(status, body, content type)``."""
+        started = time.perf_counter()
+        generation, index = self.manager.snapshot()
+        if self._snapshot_hold_s > 0:
+            await asyncio.sleep(self._snapshot_hold_s)
+        path = target.split("?", 1)[0]
+        endpoint, status, payload, text = self._route(
+            method, path, body, generation, index
+        )
+        if text is not None:
+            rendered = text.encode("utf-8")
+            content_type = "text/plain; version=0.0.4"
+        else:
+            rendered = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
+        self.counters.observe(
+            endpoint, status, time.perf_counter() - started
+        )
+        return status, rendered, content_type
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        generation: int,
+        index: LeaseIndex,
+    ) -> Tuple[str, int, Payload, Optional[str]]:
+        """``(endpoint, status, json payload, text payload)`` for *path*."""
+        if path == "/__malformed__":
+            return "other", 400, {"error": "malformed request line"}, None
+        if path == "/__too_large__":
+            return "other", 413, {"error": "request body too large"}, None
+        if path == "/healthz":
+            if method != "GET":
+                return "health", 405, {"error": "use GET"}, None
+            payload = {"status": "ok", "generation": generation}
+            return "health", 200, payload, None
+        if path == "/metrics":
+            return "metrics", 200, {}, self._render_metrics(generation, index)
+        if path == "/v1/stats":
+            return "stats", 200, self._render_stats(generation, index), None
+        if path.startswith("/v1/prefix/"):
+            text = unquote(path[len("/v1/prefix/"):])
+            status, payload = self._cached(
+                generation, path, "prefix",
+                lambda: self._answer_prefix(index, generation, text),
+            )
+            return "prefix", status, payload, None
+        if path.startswith("/v1/asn/"):
+            text = unquote(path[len("/v1/asn/"):])
+            status, payload = self._cached(
+                generation, path, "asn",
+                lambda: self._answer_asn(index, generation, text),
+            )
+            return "asn", status, payload, None
+        if path.startswith("/v1/org/"):
+            text = unquote(path[len("/v1/org/"):])
+            status, payload = self._cached(
+                generation, path, "org",
+                lambda: self._answer_org(index, generation, text),
+            )
+            return "org", status, payload, None
+        if path == "/v1/bulk":
+            if method != "POST":
+                return "bulk", 405, {"error": "use POST"}, None
+            status, payload = self._answer_bulk(index, generation, body)
+            return "bulk", status, payload, None
+        return "other", 404, {"error": f"no such endpoint: {path}"}, None
+
+    def _cached(
+        self,
+        generation: int,
+        path: str,
+        endpoint: str,
+        compute,
+    ) -> Tuple[int, Payload]:
+        key = (generation, path)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        value = compute()
+        self.cache.put(key, value)
+        return value
+
+    # -- endpoint answers ----------------------------------------------------
+    def _answer_prefix(
+        self, index: LeaseIndex, generation: int, text: str
+    ) -> Tuple[int, Payload]:
+        status, payload = index.resolve_text(text)
+        payload["generation"] = generation
+        return status, payload
+
+    def _answer_asn(
+        self, index: LeaseIndex, generation: int, text: str
+    ) -> Tuple[int, Payload]:
+        asn = parse_asn_text(text)
+        if asn is None:
+            return 400, {"error": f"bad ASN: {text!r}",
+                         "generation": generation}
+        listing = index.by_asn(asn)
+        if listing is None:
+            return 404, {
+                "error": "AS originates no classified leaf",
+                "asn": asn,
+                "generation": generation,
+            }
+        listing["generation"] = generation
+        return 200, listing
+
+    def _answer_org(
+        self, index: LeaseIndex, generation: int, text: str
+    ) -> Tuple[int, Payload]:
+        if not text.strip():
+            return 400, {"error": "empty organisation handle",
+                         "generation": generation}
+        listing = index.by_org(text)
+        if listing is None:
+            return 404, {
+                "error": "organisation holds no classified leaf",
+                "org": text,
+                "generation": generation,
+            }
+        listing["generation"] = generation
+        return 200, listing
+
+    def _answer_bulk(
+        self, index: LeaseIndex, generation: int, body: bytes
+    ) -> Tuple[int, Payload]:
+        try:
+            parsed = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}
+        prefixes = parsed.get("prefixes") if isinstance(parsed, dict) else None
+        if not isinstance(prefixes, list) or not all(
+            isinstance(item, str) for item in prefixes
+        ):
+            return 400, {
+                "error": 'expected {"prefixes": ["a.b.c.d/len", ...]}'
+            }
+        if len(prefixes) > MAX_BULK:
+            return 413, {
+                "error": f"at most {MAX_BULK} prefixes per bulk call",
+                "got": len(prefixes),
+            }
+        results = []
+        for text in prefixes:
+            status, payload = self._cached(
+                generation,
+                "/v1/prefix/" + text,
+                "prefix",
+                lambda t=text: self._answer_prefix(index, generation, t),
+            )
+            results.append({"status": status, "result": payload})
+        return 200, {"generation": generation, "results": results}
+
+    # -- observability -------------------------------------------------------
+    def _render_stats(self, generation: int, index: LeaseIndex) -> Payload:
+        return {
+            "generation": generation,
+            "snapshot": index.stats(),
+            "cache": self.cache.stats(),
+            "endpoints": self.counters.as_dict(),
+        }
+
+    def _render_metrics(self, generation: int, index: LeaseIndex) -> str:
+        lines = [
+            f"repro_serve_generation {generation}",
+            f"repro_serve_snapshot_leaves {len(index)}",
+            f"repro_serve_cache_hits_total {self.cache.hits}",
+            f"repro_serve_cache_misses_total {self.cache.misses}",
+            f"repro_serve_cache_evictions_total {self.cache.evictions}",
+        ]
+        for endpoint, entry in self.counters.as_dict().items():
+            label = f'{{endpoint="{endpoint}"}}'
+            lines.append(
+                f"repro_serve_requests_total{label} {entry['requests']}"
+            )
+            lines.append(
+                f"repro_serve_request_errors_total{label} {entry['errors']}"
+            )
+            lines.append(
+                f"repro_serve_request_ms_total{label} {entry['total_ms']}"
+            )
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,79 @@
+"""Atomic hot-swap of :class:`~repro.serve.index.LeaseIndex` snapshots.
+
+The serving layer never mutates an index in place.  A new snapshot is
+built **off the event loop** (in a worker thread — index construction
+is pure CPU over immutable inputs), then :meth:`SnapshotManager.swap`
+publishes it by replacing a single ``(generation, index)`` tuple
+reference.  Readers capture that tuple once per request, so
+
+* a request that started on generation *n* finishes on generation *n*
+  even if a swap lands mid-flight — nothing is dropped or torn, and
+* the swap itself is wait-free for readers; only concurrent swappers
+  serialize on a lock (to keep generation numbers strictly increasing).
+
+Generation numbers start at 1 for the first snapshot and are surfaced
+in every ``/v1/stats`` and ``/healthz`` response so clients can detect
+a reload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Callable, Optional, Tuple
+
+from .index import LeaseIndex
+
+__all__ = ["SnapshotManager"]
+
+
+class SnapshotManager:
+    """Publishes immutable snapshots to readers, one generation at a time."""
+
+    def __init__(self, initial: Optional[LeaseIndex] = None) -> None:
+        self._lock = threading.Lock()
+        self._current: Optional[Tuple[int, LeaseIndex]] = None
+        self._generation = 0
+        if initial is not None:
+            self.swap(initial)
+
+    # -- read side ---------------------------------------------------------
+    def snapshot(self) -> Tuple[int, LeaseIndex]:
+        """The current ``(generation, index)`` pair, captured atomically.
+
+        Callers must hold on to the returned pair for the duration of
+        one request instead of re-reading — that is what makes a
+        mid-request swap invisible.
+        """
+        current = self._current
+        if current is None:
+            raise RuntimeError(
+                "SnapshotManager has no snapshot yet; swap() one in first"
+            )
+        return current
+
+    @property
+    def generation(self) -> int:
+        """The generation of the published snapshot (0 before the first)."""
+        return self._generation
+
+    # -- write side --------------------------------------------------------
+    def swap(self, index: LeaseIndex) -> int:
+        """Publish *index* as the new snapshot; returns its generation."""
+        with self._lock:
+            self._generation += 1
+            self._current = (self._generation, index)
+            return self._generation
+
+    def reload_now(self, builder: Callable[[], LeaseIndex]) -> int:
+        """Build synchronously (blocking the caller) and swap."""
+        return self.swap(builder())
+
+    async def reload(self, builder: Callable[[], LeaseIndex]) -> int:
+        """Build the next snapshot off-thread, then swap it in.
+
+        The event loop keeps serving the old generation while *builder*
+        runs; the swap is a single reference replacement.
+        """
+        index = await asyncio.to_thread(builder)
+        return self.swap(index)

@@ -21,7 +21,7 @@ import socketserver
 import threading
 from typing import List, Optional, Tuple
 
-from ..net import AddressError, Prefix, PrefixTrie
+from ..net import AddressError, Prefix, PrefixTrie, resolve_covering_chain
 from ..rir import RIR
 from .database import WhoisCollection
 from .objects import InetnumRecord, parse_asn
@@ -119,7 +119,7 @@ class WhoisServer:
         return self._lookup_prefix(prefix)
 
     def _lookup_prefix(self, prefix: Prefix) -> Optional[List[str]]:
-        hit = self._trie.longest_match(prefix)
+        hit, chain = resolve_covering_chain(self._trie, prefix)
         if hit is None:
             return None
         _match_prefix, (rir, record) = hit
@@ -133,7 +133,6 @@ class WhoisServer:
             )
         # The covering chain (less-specific registrations), as real
         # servers expose via the -L flag; shown compactly as comments.
-        chain = self._trie.covering(prefix)
         if len(chain) > 1:
             lines.append("")
             lines.append("% Less specific registrations:")

@@ -186,6 +186,54 @@ class TestBgpRules:
         report = run(DiagnosticContext(routing_table=table))
         assert codes(report) == set()
 
+    @staticmethod
+    def _leased_leaf_context(**lists):
+        """A tree whose classifiable leaf 9.0.1.0/24 is announced by AS666."""
+        database = ripe_db(
+            inetnum("9.0.0.0 - 9.0.255.255", status="ALLOCATED PA"),
+            inetnum("9.0.1.0 - 9.0.1.255", status="ASSIGNED PA"),
+        )
+        table = RoutingTable()
+        table.add_route(Prefix.parse("9.0.1.0/24"), 666)
+        return DiagnosticContext(
+            whois=collection(database), routing_table=table, **lists
+        )
+
+    def test_b206_drop_listed_leaf_origin(self):
+        context = self._leased_leaf_context(
+            drop=AsnDropList.from_asns([666])
+        )
+        (finding,) = [f for f in run(context).findings if f.code == "B206"]
+        assert finding.subject == "9.0.1.0/24"
+        assert "AS666" in finding.message
+        assert "ASN-DROP" in finding.message
+
+    def test_b206_serial_hijacker_leaf_origin(self):
+        context = self._leased_leaf_context(
+            hijackers=SerialHijackerList([666])
+        )
+        (finding,) = [f for f in run(context).findings if f.code == "B206"]
+        assert "serial-hijacker" in finding.message
+
+    def test_b206_names_both_lists(self):
+        context = self._leased_leaf_context(
+            drop=AsnDropList.from_asns([666]),
+            hijackers=SerialHijackerList([666]),
+        )
+        (finding,) = [f for f in run(context).findings if f.code == "B206"]
+        assert "ASN-DROP and serial-hijacker" in finding.message
+
+    def test_b206_silent_for_clean_origin(self):
+        context = self._leased_leaf_context(
+            drop=AsnDropList.from_asns([999]),
+            hijackers=SerialHijackerList([998]),
+        )
+        assert "B206" not in codes(run(context))
+
+    def test_b206_skipped_without_lists(self):
+        context = self._leased_leaf_context()
+        assert "B206" not in codes(run(context))
+
 
 class TestRpkiRules:
     def test_r301_stale_roa(self):
@@ -411,6 +459,8 @@ class TestLintCli:
                     "R303",
                     "--suppress",
                     "X504",
+                    "--suppress",
+                    "B206",
                 ]
             )
             == 0

@@ -140,3 +140,105 @@ class TestStructuralRoles:
         )
         assert len(trie) == 2
         assert trie.to_dict()[Prefix.parse("11.0.0.0/8")] == 2
+
+
+class TestRemovalAndPruning:
+    """LPM correctness after interior removal/replacement (satellite fix)."""
+
+    def test_lpm_falls_back_after_interior_removal(self, small_trie):
+        assert small_trie.remove(Prefix.parse("10.1.0.0/16"))
+        hit = small_trie.longest_match(Prefix.parse("10.1.3.0/24"))
+        assert hit == (Prefix.parse("10.0.0.0/8"), "root8")
+
+    def test_children_survive_interior_removal(self, small_trie):
+        small_trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert small_trie.exact(Prefix.parse("10.1.2.0/24")) == "leaf24"
+        hit = small_trie.longest_match(Prefix.parse("10.1.2.0/25"))
+        assert hit == (Prefix.parse("10.1.2.0/24"), "leaf24")
+
+    def test_lpm_after_interior_replacement(self, small_trie):
+        small_trie.insert(Prefix.parse("10.1.0.0/16"), "replacement")
+        hit = small_trie.longest_match(Prefix.parse("10.1.3.0/24"))
+        assert hit == (Prefix.parse("10.1.0.0/16"), "replacement")
+        assert len(small_trie) == 4
+
+    @staticmethod
+    def _node_count(trie):
+        count = 0
+        stack = [trie._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(c for c in node.children if c is not None)
+        return count
+
+    def test_leaf_removal_prunes_dangling_branch(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "root")
+        baseline = self._node_count(trie)
+        trie.insert(Prefix.parse("10.255.255.0/24"), "deep")
+        assert self._node_count(trie) == baseline + 16
+        assert trie.remove(Prefix.parse("10.255.255.0/24"))
+        assert self._node_count(trie) == baseline
+
+    def test_repeated_cycles_do_not_grow_the_trie(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "root")
+        baseline = self._node_count(trie)
+        for _ in range(5):
+            trie.insert(Prefix.parse("10.255.255.0/24"), "deep")
+            trie.remove(Prefix.parse("10.255.255.0/24"))
+        assert self._node_count(trie) == baseline
+
+    def test_removal_keeps_branch_with_valued_descendant(self, small_trie):
+        small_trie.remove(Prefix.parse("10.1.0.0/16"))
+        assert sorted(v for _p, v in small_trie.items()) == [
+            "island",
+            "leaf24",
+            "root8",
+        ]
+
+    def test_insert_after_remove_round_trip(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("192.0.2.0/24")
+        for cycle in range(3):
+            trie.insert(prefix, cycle)
+            assert trie.exact(prefix) == cycle
+            assert trie.remove(prefix)
+            assert len(trie) == 0
+            assert trie.longest_match(prefix) is None
+
+    def test_remove_root_of_chain(self, small_trie):
+        assert small_trie.remove(Prefix.parse("10.0.0.0/8"))
+        hit = small_trie.longest_match(Prefix.parse("10.1.2.0/25"))
+        assert hit == (Prefix.parse("10.1.2.0/24"), "leaf24")
+        assert small_trie.longest_match(Prefix.parse("10.2.0.0/16")) is None
+
+
+class TestResolveCoveringChain:
+    def test_exact_match_is_best(self, small_trie):
+        from repro.net import resolve_covering_chain
+
+        best, chain = resolve_covering_chain(
+            small_trie, Prefix.parse("10.1.2.0/24")
+        )
+        assert best == (Prefix.parse("10.1.2.0/24"), "leaf24")
+        assert [v for _p, v in chain] == ["root8", "mid16", "leaf24"]
+
+    def test_longest_prefix_is_best(self, small_trie):
+        from repro.net import resolve_covering_chain
+
+        best, chain = resolve_covering_chain(
+            small_trie, Prefix.parse("10.1.2.0/26")
+        )
+        assert best == (Prefix.parse("10.1.2.0/24"), "leaf24")
+        assert len(chain) == 3
+
+    def test_miss(self, small_trie):
+        from repro.net import resolve_covering_chain
+
+        best, chain = resolve_covering_chain(
+            small_trie, Prefix.parse("172.16.0.0/16")
+        )
+        assert best is None
+        assert chain == []

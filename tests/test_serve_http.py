@@ -1,0 +1,370 @@
+"""End-to-end tests for the asyncio lease-lookup HTTP server."""
+
+import asyncio
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core import LeaseInferencePipeline
+from repro.serve import (
+    MAX_BULK,
+    LeaseIndex,
+    LeaseQueryServer,
+    SnapshotManager,
+)
+from repro.serve.http import ResponseCache
+from repro.simulation import build_world, small_world
+
+
+@pytest.fixture(scope="module")
+def index():
+    world = build_world(small_world())
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    result = pipeline.run()
+    return LeaseIndex.build(pipeline.context, result)
+
+
+@pytest.fixture()
+def manager(index):
+    return SnapshotManager(index)
+
+
+@pytest.fixture()
+def server(manager):
+    with LeaseQueryServer(manager) as srv:
+        yield srv
+
+
+def request(server, method, path, body=None):
+    """One HTTP round trip; returns (status, decoded-or-raw body)."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        raw = response.read()
+        if response.getheader("Content-Type", "").startswith(
+            "application/json"
+        ):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode("utf-8")
+    finally:
+        conn.close()
+
+
+def get(server, path):
+    return request(server, "GET", path)
+
+
+class TestHealthAndStats:
+    def test_healthz(self, server):
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "generation": 1}
+
+    def test_healthz_wrong_method(self, server):
+        assert request(server, "POST", "/healthz")[0] == 405
+
+    def test_stats_structure(self, server, index):
+        get(server, "/v1/prefix/" + str(index.prefixes()[0]))
+        status, payload = get(server, "/v1/stats")
+        assert status == 200
+        assert payload["generation"] == 1
+        assert payload["snapshot"]["leaves"] == len(index)
+        assert payload["cache"]["capacity"] > 0
+        assert payload["endpoints"]["prefix"]["requests"] == 1
+
+    def test_metrics_exposition(self, server, index):
+        get(server, "/v1/prefix/" + str(index.prefixes()[0]))
+        status, text = get(server, "/metrics")
+        assert status == 200
+        assert "repro_serve_generation 1" in text
+        assert f"repro_serve_snapshot_leaves {len(index)}" in text
+        assert 'repro_serve_requests_total{endpoint="prefix"} 1' in text
+
+    def test_unknown_endpoint(self, server):
+        status, payload = get(server, "/v1/nope")
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+
+class TestPrefixEndpoint:
+    def test_exact(self, server, index):
+        prefix = index.prefixes()[0]
+        status, payload = get(server, f"/v1/prefix/{prefix}")
+        assert status == 200
+        assert payload["match"] == "exact"
+        assert payload["answer"]["prefix"] == str(prefix)
+        assert payload["generation"] == 1
+
+    def test_longest_prefix(self, server, index):
+        leaf = next(p for p in index.prefixes() if p.length < 30)
+        sub = f"{leaf}".split("/")[0] + f"/{leaf.length + 2}"
+        status, payload = get(server, f"/v1/prefix/{sub}")
+        assert status == 200
+        assert payload["match"] == "longest-prefix"
+        assert payload["matched_prefix"] == str(leaf)
+
+    def test_miss_is_404(self, server):
+        status, payload = get(server, "/v1/prefix/240.0.0.0/24")
+        assert status == 404
+        assert "query" in payload
+
+    def test_malformed_is_400(self, server):
+        status, payload = get(server, "/v1/prefix/not-a-prefix")
+        assert status == 400
+        assert "bad prefix" in payload["error"]
+
+    def test_url_escaped_query(self, server, index):
+        prefix = index.prefixes()[0]
+        escaped = str(prefix).replace("/", "%2F")
+        status, payload = get(server, f"/v1/prefix/{escaped}")
+        assert status == 200
+        assert payload["answer"]["prefix"] == str(prefix)
+
+
+class TestAsnAndOrgEndpoints:
+    def test_asn_listing(self, server, index):
+        asn = index.asns()[0]
+        status, payload = get(server, f"/v1/asn/AS{asn}")
+        assert status == 200
+        assert payload["asn"] == asn
+        assert payload["total"] == len(payload["answers"])
+
+    def test_asn_miss(self, server):
+        assert get(server, "/v1/asn/4199999999")[0] == 404
+
+    def test_asn_malformed(self, server):
+        assert get(server, "/v1/asn/banana")[0] == 400
+
+    def test_org_listing(self, server, index):
+        org = index.orgs()[0]
+        status, payload = get(server, f"/v1/org/{org}")
+        assert status == 200
+        assert payload["role"] == "holder"
+        assert payload["total"] >= 1
+
+    def test_org_miss(self, server):
+        assert get(server, "/v1/org/ORG-NOPE")[0] == 404
+
+
+class TestBulkEndpoint:
+    def test_batch(self, server, index):
+        prefixes = [str(p) for p in index.prefixes()[:5]] + ["240.0.0.0/24"]
+        status, payload = request(
+            server, "POST", "/v1/bulk",
+            json.dumps({"prefixes": prefixes}),
+        )
+        assert status == 200
+        assert len(payload["results"]) == 6
+        statuses = [entry["status"] for entry in payload["results"]]
+        assert statuses == [200] * 5 + [404]
+
+    def test_batch_limit(self, server):
+        too_many = ["10.0.0.0/24"] * (MAX_BULK + 1)
+        status, payload = request(
+            server, "POST", "/v1/bulk",
+            json.dumps({"prefixes": too_many}),
+        )
+        assert status == 413
+        assert payload["got"] == MAX_BULK + 1
+
+    def test_bad_json(self, server):
+        assert request(server, "POST", "/v1/bulk", "{nope")[0] == 400
+
+    def test_wrong_shape(self, server):
+        status, _ = request(
+            server, "POST", "/v1/bulk", json.dumps({"prefixes": [1, 2]})
+        )
+        assert status == 400
+
+    def test_wrong_method(self, server):
+        assert get(server, "/v1/bulk")[0] == 405
+
+    def test_bulk_shares_prefix_cache(self, server, index):
+        prefix = str(index.prefixes()[0])
+        get(server, f"/v1/prefix/{prefix}")
+        before = server.cache.hits
+        request(
+            server, "POST", "/v1/bulk", json.dumps({"prefixes": [prefix]})
+        )
+        assert server.cache.hits == before + 1
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, server, index):
+        path = f"/v1/prefix/{index.prefixes()[0]}"
+        get(server, path)
+        assert server.cache.hits == 0
+        get(server, path)
+        assert server.cache.hits == 1
+        assert get(server, path)[0] == 200
+        assert server.cache.hits == 2
+
+    def test_lru_eviction_under_pressure(self, manager, index):
+        with LeaseQueryServer(manager, cache_size=2) as small:
+            for prefix in index.prefixes()[:4]:
+                get(small, f"/v1/prefix/{prefix}")
+            assert small.cache.evictions == 2
+            assert len(small.cache) == 2
+            status, _ = get(small, f"/v1/prefix/{index.prefixes()[3]}")
+            assert status == 200
+            assert small.cache.hits == 1
+
+    def test_zero_capacity_cache_disables_caching(self):
+        cache = ResponseCache(0)
+        cache.put((1, "/x"), (200, {}))
+        assert len(cache) == 0
+        assert cache.get((1, "/x")) is None
+        assert cache.stats()["hit_rate"] == 0.0
+
+    def test_lru_recency_order(self):
+        cache = ResponseCache(2)
+        cache.put((1, "/a"), (200, {"v": "a"}))
+        cache.put((1, "/b"), (200, {"v": "b"}))
+        assert cache.get((1, "/a")) is not None  # refresh /a
+        cache.put((1, "/c"), (200, {"v": "c"}))  # evicts /b, not /a
+        assert cache.get((1, "/a")) is not None
+        assert cache.get((1, "/b")) is None
+
+
+class TestHotReload:
+    def test_swap_bumps_generation(self, server, manager, index):
+        assert get(server, "/healthz")[1]["generation"] == 1
+        assert manager.swap(index) == 2
+        assert get(server, "/healthz")[1]["generation"] == 2
+
+    def test_swap_invalidates_cached_answers(self, server, manager, index):
+        path = f"/v1/prefix/{index.prefixes()[0]}"
+        get(server, path)
+        get(server, path)
+        assert server.cache.hits == 1
+        manager.swap(index)
+        _, payload = get(server, path)
+        assert payload["generation"] == 2
+        assert server.cache.hits == 1  # old generation's entry not reused
+
+    def test_inflight_request_survives_swap(self, server, manager, index):
+        """A request that captured generation 1 finishes on generation 1
+        even when the swap lands while it is being served."""
+        server._snapshot_hold_s = 0.3
+        results = {}
+
+        def slow_request():
+            results["health"] = get(server, "/healthz")
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        time.sleep(0.1)  # let the request capture its snapshot
+        manager.swap(index)
+        worker.join(timeout=10)
+        server._snapshot_hold_s = 0.0
+        status, payload = results["health"]
+        assert status == 200
+        assert payload["generation"] == 1
+        assert get(server, "/healthz")[1]["generation"] == 2
+
+    def test_empty_manager_is_a_500_not_a_hang(self):
+        with LeaseQueryServer(SnapshotManager()) as empty:
+            status, payload = get(empty, "/healthz")
+            assert status == 500
+            assert "internal" in payload["error"]
+
+    def test_snapshot_raises_before_first_swap(self):
+        with pytest.raises(RuntimeError):
+            SnapshotManager().snapshot()
+
+    def test_reload_now_blocks_and_swaps(self, manager, index):
+        assert manager.reload_now(lambda: index) == 2
+        assert manager.generation == 2
+
+    def test_async_reload_builds_off_thread(self, manager, index):
+        built_on = {}
+
+        def builder():
+            built_on["thread"] = threading.current_thread().name
+            return index
+
+        generation = asyncio.run(manager.reload(builder))
+        assert generation == 2
+        assert built_on["thread"] != threading.main_thread().name
+        assert manager.snapshot() == (2, index)
+
+
+class TestRunAsync:
+    def test_serves_in_callers_loop_until_cancelled(self, manager):
+        async def scenario():
+            srv = LeaseQueryServer(manager)
+            task = asyncio.create_task(srv.run_async())
+            await asyncio.sleep(0.05)
+            host, port = srv.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+            )
+            await writer.drain()
+            reply = await reader.read(-1)
+            writer.close()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            return reply
+
+        reply = asyncio.run(scenario())
+        assert reply.startswith(b"HTTP/1.1 200")
+
+
+class TestProtocol:
+    def test_keep_alive_reuses_connection(self, server, index):
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            for _ in range(3):
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()
+        finally:
+            conn.close()
+
+    def test_malformed_request_line(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"WHAT\r\n\r\n")
+            reply = sock.recv(4096).decode("latin-1")
+        assert reply.startswith("HTTP/1.1 400")
+        assert "Connection: close" in reply
+
+    def test_oversized_body_rejected(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /v1/bulk HTTP/1.1\r\n"
+                b"Content-Length: 2000000\r\n\r\n"
+            )
+            reply = sock.recv(4096).decode("latin-1")
+        assert reply.startswith("HTTP/1.1 413")
+
+    def test_connection_close_honoured(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        reply = b"".join(chunks).decode("latin-1")
+        assert reply.startswith("HTTP/1.1 200")
+        assert "Connection: close" in reply

@@ -1,0 +1,166 @@
+"""Tests for the serve load generator, its schema, and the CLI wiring."""
+
+import copy
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.bench import append_trajectory
+from repro.cli import main
+from repro.core import LeaseInferencePipeline
+from repro.reporting import render_serve_report
+from repro.serve import LeaseIndex, run_loadgen, validate_serve_run
+from repro.serve.loadgen import SERVE_SCHEMA_VERSION, _percentile
+from repro.simulation import build_world, small_world
+
+
+@pytest.fixture(scope="module")
+def index():
+    world = build_world(small_world())
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    result = pipeline.run()
+    return LeaseIndex.build(pipeline.context, result)
+
+
+@pytest.fixture(scope="module")
+def run(index):
+    return run_loadgen(index, requests=200, seed=7, concurrency=3)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 0.0) == 1.0
+        assert _percentile(values, 0.99) == 4.0
+        assert _percentile(values, 1.0) == 4.0
+
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestRunLoadgen:
+    def test_request_budget_is_exact(self, run):
+        assert run["totals"]["requests"] == 200
+
+    def test_no_unexpected_errors(self, run):
+        assert run["totals"]["errors"] == 0
+
+    def test_schema_validates(self, run):
+        assert validate_serve_run(run) == []
+
+    def test_cache_sees_hits_on_repeated_mix(self, run):
+        assert run["server"]["cache"]["hits"] > 0
+
+    def test_latency_percentiles_ordered(self, run):
+        latency = run["latency_ms"]
+        assert 0 < latency["p50"] <= latency["p99"] <= latency["max"]
+
+    def test_kinds_cover_the_mix(self, run):
+        assert {"prefix", "prefix_hot", "miss"} <= set(run["kinds"])
+        total = sum(entry["requests"] for entry in run["kinds"].values())
+        assert total == 200
+
+    def test_deterministic_mix_across_runs(self, index):
+        first = run_loadgen(index, requests=60, seed=11, concurrency=2)
+        second = run_loadgen(index, requests=60, seed=11, concurrency=2)
+        kinds = lambda r: {  # noqa: E731
+            kind: entry["requests"] for kind, entry in r["kinds"].items()
+        }
+        assert kinds(first) == kinds(second)
+
+    def test_duration_bounded_run(self, index):
+        payload = run_loadgen(index, duration_s=0.3, seed=5, concurrency=2)
+        assert payload["totals"]["requests"] > 0
+        assert payload["config"]["requests"] is None
+        assert validate_serve_run(payload) == []
+
+    def test_config_recorded(self, run):
+        assert run["config"]["seed"] == 7
+        assert run["config"]["concurrency"] == 3
+        assert run["config"]["world"] == "small"
+        assert run["schema"] == {
+            "name": "BENCH_serve",
+            "version": SERVE_SCHEMA_VERSION,
+        }
+
+
+class TestValidateServeRun:
+    def test_rejects_missing_section(self, run):
+        broken = copy.deepcopy(run)
+        del broken["latency_ms"]
+        assert any(
+            "latency_ms" in problem for problem in validate_serve_run(broken)
+        )
+
+    def test_rejects_disordered_percentiles(self, run):
+        broken = copy.deepcopy(run)
+        broken["latency_ms"]["p50"] = broken["latency_ms"]["max"] + 1
+        assert validate_serve_run(broken)
+
+    def test_rejects_wrong_schema_stamp(self, run):
+        broken = copy.deepcopy(run)
+        broken["schema"] = 999
+        assert validate_serve_run(broken)
+
+    def test_rejects_zero_generation(self, run):
+        broken = copy.deepcopy(run)
+        broken["server"]["generation"] = 0
+        assert validate_serve_run(broken)
+
+
+class TestTrajectory:
+    def test_appends_runs(self, run, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        append_trajectory(run, out, "BENCH_serve", SERVE_SCHEMA_VERSION)
+        append_trajectory(run, out, "BENCH_serve", SERVE_SCHEMA_VERSION)
+        document = json.loads(out.read_text())
+        assert document["schema"]["name"] == "BENCH_serve"
+        assert document["schema"]["version"] == SERVE_SCHEMA_VERSION
+        assert len(document["runs"]) == 2
+
+    def test_render_accepts_run_and_trajectory(self, run, tmp_path):
+        text = render_serve_report(run)
+        assert "Serve bench — small: 200 requests" in text
+        assert "cache hit rate" in text
+        assert "generation 1" in text
+        out = tmp_path / "BENCH_serve.json"
+        append_trajectory(run, out, "BENCH_serve", SERVE_SCHEMA_VERSION)
+        assert render_serve_report(json.loads(out.read_text())) == text
+
+
+class TestCli:
+    def test_loadgen_command(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "loadgen",
+                "--requests", "120",
+                "--seed", "7",
+                "--concurrency", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "Serve bench" in captured
+        assert f"wrote {out}" in captured
+        document = json.loads(out.read_text())
+        assert validate_serve_run(document["runs"][-1]) == []
+
+    def test_serve_command_wires_snapshot(self, monkeypatch, capsys):
+        seen = {}
+
+        def fake_serve_forever(server, index, label):
+            seen["generation"] = server.manager.generation
+            seen["leaves"] = len(index)
+            seen["label"] = label
+            return 0
+
+        monkeypatch.setattr(cli, "_serve_forever", fake_serve_forever)
+        assert main(["serve", "--small", "--port", "0"]) == 0
+        assert seen["generation"] == 1
+        assert seen["leaves"] > 0
+        assert seen["label"] == "small world"
