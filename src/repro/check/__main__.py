@@ -1,0 +1,10 @@
+"""``python -m repro.check`` prints the generated rule catalog.
+
+``make docs`` redirects this into ``docs/STATIC_ANALYSIS.md``, exactly
+like ``python -m repro.diagnostics`` feeds ``docs/DIAGNOSTICS.md``.
+"""
+
+from .catalog import render_check_catalog
+
+if __name__ == "__main__":
+    print(render_check_catalog())

@@ -1,0 +1,305 @@
+"""Parsed-source context shared by every ``repro check`` rule.
+
+:class:`ModuleSource` is one parsed Python file: text, line table, AST,
+and the inline-suppression map.  :class:`ProjectContext` is the whole
+checked tree — it resolves class definitions across modules (for the
+pickle-safety rule), concatenates ``docs/*.md`` (for the CLI-flag
+rule), and owns the shared *local type inference* heuristic used by the
+immutability and pickle-safety rules.
+
+Suppressions are deliberately strict: ``# repro-check: ignore[RC104]``
+only takes effect when followed by ``-- <justification>``.  A
+suppression without a reason is inert, so the underlying finding stays
+visible until someone writes down *why* the code is allowed to break
+the invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Container, Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "ModuleSource",
+    "ProjectContext",
+    "infer_local_types",
+    "annotation_class_name",
+    "iter_scopes",
+    "walk_scope",
+]
+
+#: Matches suppression comments — ``ignore[RC104]`` or
+#: ``ignore[RC104,RC106]`` after the tool prefix, with a mandatory
+#: ``-- reason`` tail for the suppression to take effect.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-check:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+
+class ModuleSource:
+    """One parsed module: path, text, AST, and suppression map."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.tree = ast.parse(self.text, filename=self.rel)
+        #: dotted module name when under ``src/`` (``repro.core.pipeline``),
+        #: empty for scripts/tests outside the package tree.
+        self.module = _dotted_name(self.rel)
+        self._suppressions, raw = _parse_suppressions(self.text)
+        #: suppression comments missing the mandatory justification,
+        #: surfaced by the engine so they are fixed rather than trusted.
+        self.inert_suppressions: List[Tuple[int, str]] = [
+            (lineno, codes) for lineno, codes, reason in raw if not reason
+        ]
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """True when *code* is suppressed at 1-based *line*."""
+        return code in self._suppressions.get(line, set())
+
+    def segment(self, node: ast.AST) -> str:
+        """The exact source text of *node* (empty if span unknown)."""
+        return ast.get_source_segment(self.text, node) or ""
+
+
+class ProjectContext:
+    """The whole checked tree plus lazily built cross-module indexes."""
+
+    def __init__(self, root: Path, modules: List[ModuleSource]) -> None:
+        self.root = root
+        self.modules = modules
+        self._classes: Optional[Dict[str, List[Tuple[ModuleSource, ast.ClassDef]]]]
+        self._classes = None
+        self._docs_text: Optional[str] = None
+
+    def class_defs(
+        self, name: str
+    ) -> List[Tuple[ModuleSource, ast.ClassDef]]:
+        """Every project-wide ``class <name>`` definition."""
+        if self._classes is None:
+            index: Dict[str, List[Tuple[ModuleSource, ast.ClassDef]]] = {}
+            for module in self.modules:
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.ClassDef):
+                        index.setdefault(node.name, []).append((module, node))
+            self._classes = index
+        return self._classes.get(name, [])
+
+    def docs_text(self) -> str:
+        """Concatenated text of every ``docs/*.md`` under the root."""
+        if self._docs_text is None:
+            docs_dir = self.root / "docs"
+            chunks: List[str] = []
+            if docs_dir.is_dir():
+                for path in sorted(docs_dir.glob("*.md")):
+                    chunks.append(path.read_text(encoding="utf-8"))
+            self._docs_text = "\n".join(chunks)
+        return self._docs_text
+
+    def module_by_name(self, dotted: str) -> Optional[ModuleSource]:
+        """The module whose dotted name is *dotted*, or None."""
+        for module in self.modules:
+            if module.module == dotted:
+                return module
+        return None
+
+
+def _dotted_name(rel: str) -> str:
+    """Dotted module path for files under ``src/`` (else empty)."""
+    if not rel.startswith("src/") or not rel.endswith(".py"):
+        return ""
+    parts = rel[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parse_suppressions(
+    text: str,
+) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str, str]]]:
+    """Map 1-based line numbers to codes suppressed there.
+
+    Only genuine ``#`` comments count — the source is tokenized, so a
+    docstring *describing* the suppression syntax never suppresses
+    anything.  A suppression comment covers its own line; when the
+    comment stands alone on a line, it also covers the next line (so
+    justifications that would overflow the column limit can sit above
+    the statement).  Entries without a justification are returned in
+    the raw list but do not suppress anything.
+    """
+    raw: List[Tuple[int, str, str]] = []
+    covered: Dict[int, Set[str]] = {}
+    for lineno, column, comment in _iter_comments(text):
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        codes = match.group("codes").replace(" ", "")
+        reason = (match.group("reason") or "").strip()
+        raw.append((lineno, codes, reason))
+        if not reason:
+            continue
+        targets = [lineno]
+        if _standalone(text, lineno, column):
+            targets.append(lineno + 1)
+        for target in targets:
+            covered.setdefault(target, set()).update(codes.split(","))
+    return covered, raw
+
+
+def _iter_comments(text: str) -> List[Tuple[int, int, str]]:
+    """``(lineno, column, comment_text)`` for every real comment."""
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1], token.string)
+                )
+    # repro-check: ignore[RC106] -- ast.parse already vetted the file;
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # unreachable in practice: degrade to "no comments"
+    return comments
+
+
+def _standalone(text: str, lineno: int, column: int) -> bool:
+    """True when the comment at (lineno, column) starts its line."""
+    lines = text.splitlines()
+    if not 1 <= lineno <= len(lines):
+        return False
+    return not lines[lineno - 1][:column].strip()
+
+
+# ---------------------------------------------------------------------------
+# Scope iteration
+
+
+def iter_scopes(tree: ast.Module):
+    """Yield the module body and every (nested) function definition.
+
+    Rules that reason about local bindings analyze one scope at a time:
+    pairing :func:`iter_scopes` with :func:`walk_scope` visits every
+    statement exactly once without conflating locals across functions.
+    """
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def walk_scope(scope: ast.AST):
+    """Walk *scope* without descending into nested function defs.
+
+    Nested definitions are their own scopes (yielded separately by
+    :func:`iter_scopes`), so skipping them here prevents double
+    reporting and keeps local-name reasoning honest.
+    """
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# Local type inference
+
+
+def annotation_class_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Best-effort class base-name from an annotation node.
+
+    Handles ``Name``, dotted ``Attribute``, string annotations, and
+    unwraps one level of ``Optional[...]`` — enough for the snapshot
+    classes the immutability rules track.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        inner = re.fullmatch(r"Optional\[(?P<t>[^\]]+)\]", text)
+        if inner:
+            text = inner.group("t").strip()
+        return text.split("[")[0].split(".")[-1] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        head = annotation_class_name(node.value)
+        if head == "Optional":
+            inner_node = node.slice
+            if isinstance(inner_node, ast.Index):  # pragma: no cover - py38
+                inner_node = inner_node.value  # type: ignore[attr-defined]
+            return annotation_class_name(inner_node)
+        return head
+    return None
+
+
+def _call_class_name(node: ast.AST) -> Optional[str]:
+    """Class name when *node* is ``X(...)``, ``X.build(...)``, ``X.from_*``."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        return name if name[:1].isupper() else None
+    if isinstance(func, ast.Attribute):
+        method = func.attr
+        if method == "build" or method.startswith("from_"):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id[:1].isupper():
+                return base.id
+            if isinstance(base, ast.Attribute) and base.attr[:1].isupper():
+                return base.attr
+    return None
+
+
+def infer_local_types(
+    scope: ast.AST, interesting: Container[str]
+) -> Dict[str, str]:
+    """Map local variable names to class names within *scope*.
+
+    Purely heuristic and deliberately conservative: annotated function
+    parameters, ``x: T = ...`` annotated assignments, and assignments
+    from ``T(...)`` / ``T.build(...)`` / ``T.from_*(...)`` calls.  Only
+    names resolving to a class in *interesting* are kept (any object
+    supporting ``in`` works — a dict of class names, or an
+    everything-matcher); anything the heuristic cannot see is simply
+    absent (rules skip it rather than guess).
+    """
+    types: Dict[str, str] = {}
+
+    def note(name: str, cls: Optional[str]) -> None:
+        if cls is not None and cls in interesting:
+            types[name] = cls
+        elif name in types and cls is not None:
+            # Reassignment to an unknown type invalidates the binding.
+            del types[name]
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        params = list(args.posonlyargs) if hasattr(args, "posonlyargs") else []
+        params += list(args.args) + list(args.kwonlyargs)
+        for param in params:
+            note(param.arg, annotation_class_name(param.annotation))
+
+    for node in ast.walk(scope):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            note(node.target.id, annotation_class_name(node.annotation))
+        elif isinstance(node, ast.Assign) and node.value is not None:
+            cls = _call_class_name(node.value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    note(target.id, cls)
+    return types

@@ -1,0 +1,192 @@
+"""Run registered check rules over a project tree and report findings.
+
+Mirrors :mod:`repro.diagnostics.engine`: the engine instantiates every
+registered rule (with optional severity overrides), feeds each parsed
+module through each rule, filters findings through the inline
+suppression map, and folds everything into a :class:`CheckReport` that
+renders as text or JSON and computes a gate exit code.
+
+Suppression comments that lack the mandatory ``--  justification`` are
+themselves reported (as synthetic ``RC100`` warnings) so an inert
+suppression never silently masks the absence of a rationale.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type
+
+from ..diagnostics.model import Severity
+from .context import ModuleSource, ProjectContext
+from .model import CheckFinding, CheckRule, all_check_rules
+
+__all__ = ["CheckEngine", "CheckReport", "load_project"]
+
+#: Directories scanned when no explicit paths are given: the package
+#: source and the repo's operational scripts.  Tests and benchmarks are
+#: exercised by the tier-1 suite itself; fixture snippets under
+#: ``tests/fixtures/check`` are *intentionally* violating and must
+#: never be scanned as project code.
+DEFAULT_ROOTS = ("src", "scripts")
+
+_EXCLUDED_PATTERNS = ("*/fixtures/*", "fixtures/*")
+
+#: Synthetic code for suppression comments missing a justification.
+INERT_SUPPRESSION_CODE = "RC100"
+
+
+def _iter_python_files(root: Path, targets: Sequence[str]) -> List[Path]:
+    paths: List[tuple] = []
+    for target in targets:
+        base = (root / target).resolve()
+        if base.is_file() and base.suffix == ".py":
+            paths.append((base, True))  # explicit file: never excluded
+            continue
+        if not base.is_dir():
+            continue
+        paths.extend((path, False) for path in sorted(base.rglob("*.py")))
+    unique: List[Path] = []
+    seen = set()
+    for path, explicit in paths:
+        rel = path.as_posix()
+        if path in seen:
+            continue
+        if not explicit and any(
+            fnmatch.fnmatch(rel, pat) for pat in _EXCLUDED_PATTERNS
+        ):
+            continue
+        seen.add(path)
+        unique.append(path)
+    return unique
+
+
+def load_project(
+    root: Path, targets: Optional[Sequence[str]] = None
+) -> ProjectContext:
+    """Parse every Python file under *targets* (default: src + scripts)."""
+    root = root.resolve()
+    modules = [
+        ModuleSource(path, root)
+        for path in _iter_python_files(root, targets or DEFAULT_ROOTS)
+    ]
+    return ProjectContext(root, modules)
+
+
+class CheckReport:
+    """Outcome of one analyzer run: findings plus run metadata."""
+
+    def __init__(
+        self,
+        findings: List[CheckFinding],
+        rules_run: List[str],
+        modules_checked: int,
+        suppressed: int,
+    ) -> None:
+        self.findings = sorted(
+            findings, key=lambda f: (f.path, f.line, f.column, f.code)
+        )
+        self.rules_run = rules_run
+        self.modules_checked = modules_checked
+        self.suppressed = suppressed
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        """``{"error": n, ...}`` over the unsuppressed findings."""
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            key = finding.severity.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def exit_code(self, fail_on: str = "warning") -> int:
+        """0 when clean under the gate; 1 otherwise.
+
+        *fail_on* is ``"error"``, ``"warning"`` (default, the CI gate),
+        or ``"never"`` (report-only).
+        """
+        if fail_on == "never":
+            return 0
+        threshold = Severity.parse(fail_on)
+        for finding in self.findings:
+            if finding.severity.at_least(threshold):
+                return 1
+        return 0
+
+    def to_json(self) -> str:
+        """Stable JSON document (used by the CI ``static-check`` job)."""
+        payload = {
+            "modules_checked": self.modules_checked,
+            "rules_run": self.rules_run,
+            "suppressed": self.suppressed,
+            "counts": self.counts_by_severity(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable report, one line per finding."""
+        lines = [str(finding) for finding in self.findings]
+        counts = self.counts_by_severity()
+        summary = ", ".join(
+            f"{counts[key]} {key}" for key in ("error", "warning", "info")
+            if key in counts
+        ) or "no findings"
+        lines.append(
+            f"checked {self.modules_checked} modules with "
+            f"{len(self.rules_run)} rules: {summary}"
+            + (f" ({self.suppressed} suppressed)" if self.suppressed else "")
+        )
+        return "\n".join(lines)
+
+
+class CheckEngine:
+    """Instantiate rules, run them over a project, gather findings."""
+
+    def __init__(
+        self,
+        rules: Optional[Iterable[Type[CheckRule]]] = None,
+        severity_overrides: Optional[Dict[str, Severity]] = None,
+        select: Optional[Iterable[str]] = None,
+    ) -> None:
+        classes = list(rules) if rules is not None else all_check_rules()
+        if select is not None:
+            wanted = {code.strip().upper() for code in select}
+            classes = [cls for cls in classes if cls.code in wanted]
+        overrides = severity_overrides or {}
+        self.rules = [cls(overrides.get(cls.code)) for cls in classes]
+
+    def run(self, project: ProjectContext) -> CheckReport:
+        findings: List[CheckFinding] = []
+        suppressed = 0
+        for module in project.modules:
+            for rule in self.rules:
+                for finding in rule.check(module, project):
+                    if module.is_suppressed(finding.code, finding.line):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+            for lineno, codes in module.inert_suppressions:
+                findings.append(
+                    CheckFinding(
+                        code=INERT_SUPPRESSION_CODE,
+                        severity=Severity.WARNING,
+                        path=module.rel,
+                        line=lineno,
+                        column=0,
+                        message=(
+                            f"suppression of [{codes}] has no justification; "
+                            "add '-- <reason>' for it to take effect"
+                        ),
+                        remediation=(
+                            "Every inline suppression must explain itself: "
+                            "'# repro-check: ignore[RC###] -- reason'."
+                        ),
+                    )
+                )
+        return CheckReport(
+            findings=findings,
+            rules_run=[rule.code for rule in self.rules],
+            modules_checked=len(project.modules),
+            suppressed=suppressed,
+        )

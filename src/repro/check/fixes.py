@@ -1,0 +1,74 @@
+"""Apply the mechanically safe fixes attached to check findings.
+
+Only two rewrites ever carry a :class:`~repro.check.model.Fix`:
+wrapping an order-dependent iterable in ``sorted(...)`` (RC103) and
+turning a bare ``except:`` into ``except Exception:`` (RC106).  Both
+preserve or strictly narrow behaviour, so ``repro check --fix`` applies
+them without review.  Applying is idempotent by construction: a fixed
+site no longer matches its rule, so a second run finds nothing to do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .model import CheckFinding, Fix
+
+__all__ = ["apply_fixes"]
+
+
+def apply_fixes(
+    root: Path, findings: Sequence[CheckFinding]
+) -> Dict[str, int]:
+    """Rewrite files under *root* per the fixable findings.
+
+    Returns ``{relative_path: fixes_applied}``.  All fixes for one file
+    are applied against its current text in one pass, back to front so
+    earlier spans stay valid; overlapping fixes are skipped (a re-run
+    picks them up once the file reparses).
+    """
+    by_path: Dict[str, List[Fix]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding.fix)
+
+    applied: Dict[str, int] = {}
+    for rel, fixes in sorted(by_path.items()):
+        path = root / rel
+        text = path.read_text(encoding="utf-8")
+        offsets = _line_offsets(text)
+        count = 0
+        last_start = len(text) + 1
+        ordered = sorted(fixes, key=lambda f: f.start, reverse=True)
+        for fix in ordered:
+            start = _abs_offset(offsets, fix.start)
+            end = _abs_offset(offsets, fix.end)
+            if start is None or end is None or not start < end:
+                continue
+            if end > last_start:
+                continue  # overlaps a fix already applied
+            text = text[:start] + fix.replacement + text[end:]
+            last_start = start
+            count += 1
+        if count:
+            path.write_text(text, encoding="utf-8")
+            applied[rel] = count
+    return applied
+
+
+def _line_offsets(text: str) -> List[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offsets = [0]
+    for idx, char in enumerate(text):
+        if char == "\n":
+            offsets.append(idx + 1)
+    return offsets
+
+
+def _abs_offset(offsets: List[int], position: Tuple[int, int]):
+    """Absolute text offset of an ast ``(lineno, col_offset)`` pair."""
+    line, column = position
+    if not 1 <= line <= len(offsets):
+        return None
+    return offsets[line - 1] + column

@@ -1,0 +1,184 @@
+"""Core types of ``repro check``: findings, rules, the registry.
+
+Deliberately parallel to :mod:`repro.diagnostics.model` — same severity
+scale, same docstring conventions (rationale paragraphs, then an
+optional ``Remediation:`` paragraph), same decorator-based registry —
+so a reader who knows one engine knows both.  The registries stay
+separate because the code families differ (``RC###`` here, single
+letter + three digits there) and because source findings carry
+file/line positions and optional mechanical fixes that dataset
+diagnostics have no use for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
+
+from ..diagnostics.model import Severity, split_docstring
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import ModuleSource, ProjectContext
+
+__all__ = [
+    "CheckFinding",
+    "CheckRule",
+    "Fix",
+    "all_check_rules",
+    "check_rule_for_code",
+    "register_check_rule",
+]
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanically safe source rewrite attached to a finding.
+
+    Spans are 0-based ``(line, column)`` pairs in the coordinates of the
+    module's source text; ``replacement`` substitutes the spanned text
+    verbatim.  Only rewrites that preserve behaviour or strictly narrow
+    it (wrapping an iterable in ``sorted()``, turning a bare ``except``
+    into ``except Exception``) may be emitted — ``repro check --fix``
+    applies them without review.
+    """
+
+    start: tuple
+    end: tuple
+    replacement: str
+
+
+@dataclass(frozen=True)
+class CheckFinding:
+    """One source-level finding: which rule fired, where, and why."""
+
+    code: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+    remediation: str = ""
+    fix: Optional[Fix] = field(default=None, compare=False)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity.value}: {self.code} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (stable key order)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "remediation": self.remediation,
+            "fixable": self.fix is not None,
+        }
+
+
+class CheckRule:
+    """Base class for one source-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    which receives one parsed module at a time plus the whole-project
+    context (for rules that need cross-module facts such as class
+    definitions or documentation files).  The docstring documents the
+    rule exactly as in the diagnostics engine: rationale first, then an
+    optional ``Remediation:`` paragraph.
+    """
+
+    code: str = ""
+    title: str = ""
+    default_severity: Severity = Severity.ERROR
+
+    def __init__(self, severity: Optional[Severity] = None) -> None:
+        self.severity = severity or self.default_severity
+
+    def check(
+        self,
+        module: "ModuleSource",
+        project: "ProjectContext",
+    ) -> Iterator[CheckFinding]:
+        """Yield findings for *module* (empty iterator when clean)."""
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: "ModuleSource",
+        node: object,
+        message: str,
+        fix: Optional[Fix] = None,
+    ) -> CheckFinding:
+        """Build one finding at *node*'s position in *module*.
+
+        *node* is any object with ``lineno``/``col_offset`` (an AST
+        node) or a ``(line, column)`` tuple in 1-based/0-based ast
+        coordinates.
+        """
+        if isinstance(node, tuple):
+            line, column = node
+        else:
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0)
+        return CheckFinding(
+            code=self.code,
+            severity=self.severity,
+            path=module.rel,
+            line=line,
+            column=column,
+            message=message,
+            remediation=self.remediation(),
+            fix=fix,
+        )
+
+    @classmethod
+    def rationale(cls) -> str:
+        """The docstring paragraphs before ``Remediation:``."""
+        return split_docstring(cls)[0]
+
+    @classmethod
+    def remediation(cls) -> str:
+        """The ``Remediation:`` paragraph of the docstring (or empty)."""
+        return split_docstring(cls)[1]
+
+
+_REGISTRY: Dict[str, Type[CheckRule]] = {}
+
+
+def register_check_rule(rule_class: Type[CheckRule]) -> Type[CheckRule]:
+    """Class decorator adding *rule_class* to the check registry.
+
+    Codes must be unique and follow ``RC<3 digits>``; like diagnostics
+    codes they are stable forever and retired codes are never reused.
+    """
+    code = rule_class.code
+    if (
+        not code
+        or len(code) != 5
+        or not code.startswith("RC")
+        or not code[2:].isdigit()
+    ):
+        raise ValueError(f"malformed check rule code: {code!r}")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate check rule code: {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_check_rules() -> List[Type[CheckRule]]:
+    """Every registered check rule class, ordered by code."""
+    from . import rules as _rules  # noqa: F401  (registers on import)
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def check_rule_for_code(code: str) -> Optional[Type[CheckRule]]:
+    """The rule class registered under *code*, or None."""
+    from . import rules as _rules  # noqa: F401
+
+    return _REGISTRY.get(code.strip().upper())

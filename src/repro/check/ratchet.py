@@ -1,0 +1,221 @@
+"""Mypy strict-mode ratchet: per-module error counts may only shrink.
+
+The project's mypy posture is gradual (``check_untyped_defs = false``
+in ``pyproject.toml``).  Instead of flipping strict mode on in one
+unreviewable mega-change, this ratchet pins the *current* per-module
+``mypy --strict`` error counts in ``scripts/mypy_ratchet.json`` and
+lets CI reject any module whose count grows.  Every touched module can
+only get stricter; coverage monotonically ratchets toward full strict
+mode.
+
+The analysis container does not ship mypy (CI installs it), so the
+committed baseline starts in **bootstrap** mode: comparisons run and
+report, but only a measured (non-bootstrap) baseline turns growth into
+a failure.  The first mypy-equipped environment runs::
+
+    python -m repro.check.ratchet update
+
+and commits the measured counts, flipping the gate on.  The comparison
+logic itself is pure text processing, unit-tested against canned mypy
+output, so the gate's semantics are verified even where mypy is absent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "STRICT_ARGS",
+    "compare_counts",
+    "load_baseline",
+    "measure",
+    "parse_mypy_output",
+    "write_baseline",
+]
+
+#: Arguments defining the ratchet's notion of "strict".  Pinned in the
+#: baseline so a flag change forces a deliberate re-measure.
+STRICT_ARGS = ["--strict", "--no-error-summary", "--no-color-output"]
+
+DEFAULT_BASELINE = Path("scripts/mypy_ratchet.json")
+DEFAULT_TARGET = "src/repro"
+
+
+def parse_mypy_output(text: str) -> Dict[str, int]:
+    """Per-module error counts from raw ``mypy`` output.
+
+    Lines look like ``src/repro/core/pipeline.py:12: error: ...``; the
+    module key is the normalized posix path.  ``note:`` lines and the
+    summary line are ignored.
+    """
+    counts: Dict[str, int] = {}
+    for line in text.splitlines():
+        parts = line.split(":", 3)
+        if len(parts) < 3:
+            continue
+        path, _lineno, kind = parts[0], parts[1], parts[2]
+        if not path.endswith(".py") or not _lineno.strip().isdigit():
+            continue
+        if kind.strip() != "error":
+            continue
+        key = path.replace("\\", "/")
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def compare_counts(
+    baseline: Dict[str, object], current: Dict[str, int]
+) -> List[str]:
+    """Violations of the ratchet (empty list == gate passes).
+
+    A module may not exceed its baseline count; modules absent from the
+    baseline (new files) must be strict-clean from the start.  Shrunk
+    counts are reported by the CLI as an invitation to re-baseline but
+    are never violations.
+    """
+    modules = baseline.get("modules", {})
+    if not isinstance(modules, dict):
+        raise ValueError("baseline 'modules' must be an object")
+    problems: List[str] = []
+    for path in sorted(current):
+        allowed = modules.get(path, 0)
+        observed = current[path]
+        if observed > int(allowed):
+            label = (
+                f"baseline {allowed}" if path in modules else "new module"
+            )
+            problems.append(
+                f"{path}: {observed} strict errors exceeds {label}"
+            )
+    return problems
+
+
+def shrunk_modules(
+    baseline: Dict[str, object], current: Dict[str, int]
+) -> List[str]:
+    """Modules whose strict error count dropped below the baseline."""
+    modules = baseline.get("modules", {})
+    if not isinstance(modules, dict):
+        return []
+    shrunk = []
+    for path in sorted(modules):
+        if current.get(path, 0) < int(modules[path]):
+            shrunk.append(path)
+    return shrunk
+
+
+def load_baseline(path: Path) -> Dict[str, object]:
+    """The committed baseline document."""
+    with path.open(encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "modules" not in data:
+        raise ValueError(f"malformed ratchet baseline: {path}")
+    return data
+
+
+def write_baseline(
+    path: Path, counts: Dict[str, int], bootstrap: bool = False
+) -> None:
+    """Write a baseline document with stable formatting."""
+    document = {
+        "_comment": (
+            "Per-module `mypy --strict` error counts. CI rejects growth; "
+            "shrink freely and re-run `python -m repro.check.ratchet "
+            "update` to bank the progress."
+        ),
+        "bootstrap": bootstrap,
+        "strict_args": STRICT_ARGS,
+        "modules": {key: counts[key] for key in sorted(counts)},
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def mypy_available() -> bool:
+    """True when mypy is importable in this interpreter."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def measure(target: str = DEFAULT_TARGET) -> Optional[Dict[str, int]]:
+    """Run ``mypy --strict`` over *target*; None when mypy is absent."""
+    if not mypy_available():
+        return None
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", *STRICT_ARGS, target],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return parse_mypy_output(result.stdout)
+
+
+def _cmd_compare(baseline_path: Path, target: str) -> int:
+    baseline = load_baseline(baseline_path)
+    current = measure(target)
+    if current is None:
+        print("ratchet: mypy not installed here; comparison skipped "
+              "(CI runs it)")
+        return 0
+    problems = compare_counts(baseline, current)
+    for module in shrunk_modules(baseline, current):
+        print(f"ratchet: {module} shrank — run 'python -m "
+              "repro.check.ratchet update' to bank it")
+    if baseline.get("bootstrap"):
+        total = sum(current.values())
+        print(f"ratchet: baseline is bootstrap; measured {total} strict "
+              f"errors in {len(current)} modules (reporting only)")
+        return 0
+    if problems:
+        for problem in problems:
+            print(f"ratchet: {problem}")
+        return 1
+    print(f"ratchet: ok ({len(current)} modules at or below baseline)")
+    return 0
+
+
+def _cmd_update(baseline_path: Path, target: str) -> int:
+    current = measure(target)
+    if current is None:
+        print("ratchet: mypy not installed; cannot measure a baseline")
+        return 1
+    write_baseline(baseline_path, current, bootstrap=False)
+    total = sum(current.values())
+    print(f"ratchet: wrote {baseline_path} ({total} strict errors in "
+          f"{len(current)} modules)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.check.ratchet``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.ratchet",
+        description="Compare or update the mypy strictness baseline.",
+    )
+    parser.add_argument("command", choices=["compare", "update"])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline JSON path (default: scripts/mypy_ratchet.json)",
+    )
+    parser.add_argument(
+        "--target",
+        default=DEFAULT_TARGET,
+        help="tree to measure (default: src/repro)",
+    )
+    options = parser.parse_args(argv)
+    if options.command == "compare":
+        return _cmd_compare(options.baseline, options.target)
+    return _cmd_update(options.baseline, options.target)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,3 @@
+"""Built-in ``repro check`` rules (importing registers them)."""
+
+from . import concurrency, determinism, hygiene, immutability  # noqa: F401

@@ -1,0 +1,173 @@
+"""Concurrency invariants: RC101 (sharding funnel), RC104 (async purity).
+
+The sharded execution layer was designed so that *all* process
+parallelism flows through :func:`repro.core.sharding.run_sharded` —
+that is the one place that knows about fork/spawn trade-offs,
+``gc.freeze``, and worker-state initialization.  The serve loop is a
+single asyncio event loop; one blocking call stalls every in-flight
+request.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from ..context import walk_scope
+from ..model import CheckFinding, CheckRule, register_check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ModuleSource, ProjectContext
+
+__all__ = ["MultiprocessingConfined", "NoBlockingInAsync"]
+
+
+@register_check_rule
+class MultiprocessingConfined(CheckRule):
+    """``multiprocessing`` / ``concurrent.futures`` may only be imported
+    by ``repro.core.sharding``.
+
+    Every pipeline parallelizes through ``run_sharded``, which owns the
+    fork-vs-spawn decision, payload pickling, and ``gc.freeze``.  A
+    second pool implementation would fork its own copy of those
+    trade-offs and silently miss fixes applied to the funnel.
+
+    Remediation: Express the parallel step as a ``run_sharded`` call
+    (payload + module-level runner function).  If ``run_sharded``
+    genuinely cannot express it, extend ``repro.core.sharding`` instead
+    of importing pool primitives elsewhere.
+    """
+
+    code = "RC101"
+    title = "process pools confined to repro.core.sharding"
+
+    ALLOWED_MODULES = frozenset({"repro.core.sharding"})
+    _BANNED_PREFIXES = ("multiprocessing", "concurrent.futures")
+
+    def _banned(self, name: str) -> bool:
+        return any(
+            name == prefix or name.startswith(prefix + ".")
+            for prefix in self._BANNED_PREFIXES
+        )
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        if module.module in self.ALLOWED_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._banned(alias.name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of {alias.name} outside "
+                            "repro.core.sharding; go through run_sharded()",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                source = node.module or ""
+                if self._banned(source):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"import from {source} outside "
+                        "repro.core.sharding; go through run_sharded()",
+                    )
+                elif source == "concurrent":
+                    for alias in node.names:
+                        if alias.name == "futures":
+                            yield self.finding(
+                                module,
+                                node,
+                                "import of concurrent.futures outside "
+                                "repro.core.sharding; go through "
+                                "run_sharded()",
+                            )
+
+
+#: Call patterns that block the event loop: plain built-ins, and
+#: ``module.function`` attribute calls keyed by the receiver name.
+#: Any attribute call on a name ``subprocess``/``socket`` is flagged.
+_BLOCKING_NAME_CALLS = frozenset({"open", "input"})
+_BLOCKING_ATTR_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("os", "system"),
+        ("socket", "create_connection"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+    }
+)
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+@register_check_rule
+class NoBlockingInAsync(CheckRule):
+    """No blocking calls inside ``async def`` bodies.
+
+    The serve layer runs a single asyncio event loop; a synchronous
+    ``open``, ``time.sleep``, ``subprocess`` or ``socket`` call inside a
+    coroutine stalls every concurrent request for its full duration.
+    The snapshot reload path shows the sanctioned pattern: blocking I/O
+    lives in a sync helper handed to ``asyncio.to_thread``.
+
+    Remediation: Move the blocking work into a synchronous helper
+    function and await it via ``asyncio.to_thread``, or use the asyncio
+    native (``asyncio.sleep``, ``asyncio.open_connection``).
+    """
+
+    code = "RC104"
+    title = "no blocking calls in async def bodies"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._scan_async_body(module, node)
+
+    def _scan_async_body(
+        self, module: "ModuleSource", func: ast.AsyncFunctionDef
+    ) -> Iterator[CheckFinding]:
+        for node in walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            if (
+                isinstance(target, ast.Name)
+                and target.id in _BLOCKING_NAME_CALLS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"blocking call {target.id}() inside async def "
+                    f"{func.name}",
+                )
+            elif isinstance(target, ast.Attribute):
+                receiver = target.value
+                if isinstance(receiver, ast.Name):
+                    pair = (receiver.id, target.attr)
+                    if pair in _BLOCKING_ATTR_CALLS or receiver.id in (
+                        "subprocess",
+                        "socket",
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"blocking call {receiver.id}.{target.attr}() "
+                            f"inside async def {func.name}",
+                        )
+                        continue
+                if target.attr in _BLOCKING_METHODS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call .{target.attr}() inside async def "
+                        f"{func.name}",
+                    )

@@ -1,0 +1,297 @@
+"""Determinism invariants: RC103.
+
+The paper's methodology is a deterministic classification over fixed
+April-2024 snapshots, and every fast engine in this repo claims
+bit-identity with a frozen reference.  Iterating a ``set`` in an
+order-sensitive position (building a list, joining strings, yielding
+rows) silently depends on ``PYTHONHASHSEED``; unseeded module-level
+``random`` calls and wall-clock reads (``time.time``,
+``datetime.now``) leak run-to-run noise into recorded outputs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional, Set, Tuple
+
+from ..context import annotation_class_name, iter_scopes, walk_scope
+from ..model import CheckFinding, CheckRule, Fix, register_check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ModuleSource, ProjectContext
+
+__all__ = ["DeterministicIteration"]
+
+_SET_OPS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+_SET_ANNOTATIONS = frozenset({"Set", "FrozenSet", "set", "frozenset"})
+_SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Order-sensitive sinks: calling one of these on an unsorted set bakes
+#: the hash-seed order into the result.
+_SINK_NAMES = frozenset({"list", "tuple", "enumerate"})
+
+#: Module-level ``random`` functions that consume the unseeded global
+#: generator (``random.Random(seed)`` instances are the sanctioned way).
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "triangular", "betavariate",
+        "expovariate", "gammavariate", "lognormvariate", "normalvariate",
+        "vonmisesvariate", "paretovariate", "weibullvariate",
+        "getrandbits", "randbytes",
+    }
+)
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+    }
+)
+
+#: Loop-body calls that make a ``for`` statement order-sensitive.
+_ORDER_SENSITIVE_METHODS = frozenset(
+    {"append", "extend", "write", "writelines"}
+)
+
+
+@register_check_rule
+class DeterministicIteration(CheckRule):
+    """Unsorted ``set`` iteration must not feed order-sensitive output,
+    and recorded values must not come from unseeded randomness or the
+    wall clock.
+
+    Set iteration order depends on ``PYTHONHASHSEED``; a list, joined
+    string, or yielded row built from a bare set differs between runs
+    even on identical input, which breaks the bit-identity contract
+    between fast engines and their frozen references.  Module-level
+    ``random.*`` calls share one unseeded global generator, and
+    ``time.time()`` / ``datetime.now()`` values recorded into outputs
+    make goldens unreproducible.
+
+    Remediation: Wrap the iterable in ``sorted(...)`` (``repro check
+    --fix`` does this mechanically), or iterate into an
+    order-insensitive aggregate (a set, a frozenset, a counter).  For
+    randomness, thread a seeded ``random.Random(seed)`` instance; for
+    timestamps, take them outside the recorded fields or inject them as
+    explicit parameters.
+    """
+
+    code = "RC103"
+    title = "no hash-order, unseeded-random, or wall-clock dependence"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        for scope in iter_scopes(module.tree):
+            set_names = _set_typed_names(scope)
+            yield from self._scan_scope(module, scope, set_names)
+        for node in ast.walk(module.tree):
+            yield from self._scan_nondeterministic_call(module, node)
+
+    # -- set iteration ----------------------------------------------------
+
+    def _scan_scope(
+        self,
+        module: "ModuleSource",
+        scope: ast.AST,
+        set_names: Set[str],
+    ) -> Iterator[CheckFinding]:
+        for node in walk_scope(scope):
+            if isinstance(node, ast.For):
+                if _is_set_expr(node.iter, set_names) and _loop_is_ordered(
+                    node
+                ):
+                    yield self._set_finding(
+                        module, node.iter, "for-loop with ordered output"
+                    )
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter, set_names):
+                        yield self._set_finding(
+                            module, gen.iter, "list comprehension"
+                        )
+            elif isinstance(node, ast.Call):
+                sink = _sink_label(node)
+                if sink is None:
+                    continue
+                for arg in node.args[:1]:
+                    for it in _iterables_of(arg):
+                        if _is_set_expr(it, set_names):
+                            yield self._set_finding(module, it, sink)
+
+    def _set_finding(
+        self, module: "ModuleSource", iterable: ast.expr, sink: str
+    ) -> CheckFinding:
+        fix = _wrap_sorted_fix(module, iterable)
+        return self.finding(
+            module,
+            iterable,
+            f"unsorted set iteration feeds {sink}; order depends on "
+            "PYTHONHASHSEED",
+            fix=fix,
+        )
+
+    # -- randomness / wall clock -----------------------------------------
+
+    def _scan_nondeterministic_call(
+        self, module: "ModuleSource", node: ast.AST
+    ) -> Iterator[CheckFinding]:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        base: Optional[str] = None
+        if isinstance(receiver, ast.Name):
+            base = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            base = receiver.attr  # datetime.datetime.now()
+        if base is None:
+            return
+        if base == "random" and func.attr in _GLOBAL_RANDOM_FNS:
+            yield self.finding(
+                module,
+                node,
+                f"random.{func.attr}() uses the unseeded global generator; "
+                "use a seeded random.Random(seed) instance",
+            )
+        elif (base, func.attr) in _WALLCLOCK_CALLS:
+            yield self.finding(
+                module,
+                node,
+                f"{base}.{func.attr}() reads the wall clock; recorded "
+                "outputs must not depend on run time",
+            )
+
+
+def _set_typed_names(scope: ast.AST) -> Set[str]:
+    """Local names that (heuristically) hold a set in *scope*.
+
+    Two passes propagate through chains like ``a = set(); b = a``.  A
+    name that is *also* assigned a clearly non-set value (``sorted``,
+    ``list``, ``tuple`` call) is dropped — reassignments like
+    ``x = sorted(x)`` launder the order dependence on purpose.
+    """
+    names: Set[str] = set()
+    laundered: Set[str] = set()
+
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        params = list(getattr(args, "posonlyargs", []))
+        params += list(args.args) + list(args.kwonlyargs)
+        for param in params:
+            if annotation_class_name(param.annotation) in _SET_ANNOTATIONS:
+                names.add(param.arg)
+
+    for _ in range(2):
+        for node in walk_scope(scope):
+            targets = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t for t in node.targets if isinstance(t, ast.Name)
+                ]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if (
+                    annotation_class_name(node.annotation)
+                    in _SET_ANNOTATIONS
+                ):
+                    names.add(node.target.id)
+                continue
+            if value is None or not targets:
+                continue
+            if _is_set_expr(value, names):
+                names.update(t.id for t in targets)
+            elif (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in ("sorted", "list", "tuple")
+            ):
+                laundered.update(t.id for t in targets)
+    return names - laundered
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    """True when *node* (heuristically) evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_BINOPS):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr == "keys" and not node.args:
+                return True
+            if func.attr in _SET_OPS:
+                return _is_set_expr(func.value, set_names)
+    return False
+
+
+def _loop_is_ordered(loop: ast.For) -> bool:
+    """True when the loop body's effect depends on iteration order."""
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _ORDER_SENSITIVE_METHODS
+        ):
+            return True
+    return False
+
+
+def _sink_label(call: ast.Call) -> Optional[str]:
+    """Label when *call* is an order-sensitive sink, else None."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _SINK_NAMES:
+        return f"{func.id}()"
+    if isinstance(func, ast.Attribute) and func.attr == "join":
+        return "str.join()"
+    return None
+
+
+def _iterables_of(arg: ast.expr) -> Tuple[ast.expr, ...]:
+    """The iterable expressions a sink argument draws from."""
+    if isinstance(arg, ast.GeneratorExp):
+        return tuple(gen.iter for gen in arg.generators)
+    return (arg,)
+
+
+def _wrap_sorted_fix(
+    module: "ModuleSource", node: ast.expr
+) -> Optional[Fix]:
+    """A ``sorted(...)`` wrap for *node*, when its span is known."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    segment = module.segment(node)
+    if not segment:
+        return None
+    return Fix(
+        start=(node.lineno, node.col_offset),
+        end=(end_line, end_col),
+        replacement=f"sorted({segment})",
+    )

@@ -1,0 +1,265 @@
+"""Code-hygiene invariants: RC106, RC107, RC108.
+
+RC106 keeps failures visible (no swallowed exceptions), RC107 keeps the
+frozen reference implementations honest (they must not lean on the fast
+engines they specify), and RC108 keeps the CLI surface documented.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
+
+from ..model import CheckFinding, CheckRule, Fix, register_check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ModuleSource, ProjectContext
+
+__all__ = ["NoSwallowedExceptions", "ReferencePurity", "CliFlagsDocumented"]
+
+
+@register_check_rule
+class NoSwallowedExceptions(CheckRule):
+    """No bare ``except`` and no silently discarded exceptions.
+
+    A bare ``except:`` catches ``SystemExit`` and ``KeyboardInterrupt``
+    too, turning Ctrl-C into a hang; an ``except ...: pass`` erases the
+    only evidence a failure ever happened.  In a measurement pipeline
+    whose value *is* its data, a swallowed parse error is a silently
+    wrong result.
+
+    Remediation: Catch the narrowest exception that the code can
+    actually handle and do something observable (log, count, degrade
+    explicitly).  When ignoring truly is correct, suppress this rule
+    inline with a justification — the comment is the log entry.
+    """
+
+    code = "RC106"
+    title = "no bare except, no except-pass"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare except catches SystemExit/KeyboardInterrupt; "
+                    "catch Exception (or narrower)",
+                    fix=_bare_except_fix(module, node),
+                )
+            if _body_is_silent(node.body):
+                yield self.finding(
+                    module,
+                    node,
+                    "exception swallowed without a trace; handle it or "
+                    "justify the suppression inline",
+                )
+
+
+def _body_is_silent(body) -> bool:
+    """True when a handler body does nothing observable."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is ...
+        ):
+            continue
+        return False
+    return True
+
+
+def _bare_except_fix(
+    module: "ModuleSource", handler: ast.ExceptHandler
+) -> Optional[Fix]:
+    """Rewrite ``except:`` into ``except Exception:``."""
+    line_idx = handler.lineno - 1
+    if line_idx >= len(module.lines):
+        return None
+    line = module.lines[line_idx]
+    match = re.compile(r"except\s*:").match(line, handler.col_offset)
+    if match is None:
+        return None
+    return Fix(
+        start=(handler.lineno, match.start()),
+        end=(handler.lineno, match.end()),
+        replacement="except Exception:",
+    )
+
+
+#: Modules that embody the fast engines; frozen references must not
+#: touch anything imported from them.
+_FAST_ENGINE_MODULES = frozenset(
+    {"repro.core.sharding", "repro.core.context"}
+)
+
+#: Function names that are frozen executable specifications.
+_REFERENCE_FUNCTIONS = frozenset(
+    {"run_reference", "profile_reference", "compare_epochs"}
+)
+
+
+@register_check_rule
+class ReferencePurity(CheckRule):
+    """Frozen reference implementations must not use fast-engine code.
+
+    ``run_reference`` / ``profile_reference`` / ``compare_epochs`` are
+    the executable specifications that the sharded and context-backed
+    engines are proven bit-identical against.  The moment a reference
+    calls into ``repro.core.sharding`` or ``repro.core.context``, the
+    proof becomes circular: a bug in the shared code changes both sides
+    of the comparison and the equivalence tests keep passing.
+
+    Remediation: Keep references self-contained (allocation tree +
+    per-leaf classification only).  If logic must be shared, move it to
+    a module neither engine owns and have both import it.
+    """
+
+    code = "RC107"
+    title = "frozen references stay independent of fast engines"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        tainted = _tainted_names(module)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name in _REFERENCE_FUNCTIONS
+            ):
+                yield from self._scan_reference(module, node, tainted)
+
+    def _scan_reference(
+        self,
+        module: "ModuleSource",
+        func: ast.FunctionDef,
+        tainted: Set[str],
+    ) -> Iterator[CheckFinding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and node.id in tainted:
+                yield self.finding(
+                    module,
+                    node,
+                    f"reference {func.name}() uses {node.id!r}, imported "
+                    "from a fast-engine module",
+                )
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                source = _import_source(module, node)
+                if source in _FAST_ENGINE_MODULES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"reference {func.name}() imports from {source}",
+                    )
+
+
+def _import_source(module: "ModuleSource", node: ast.AST) -> Optional[str]:
+    """The dotted module an import statement draws from."""
+    if isinstance(node, ast.Import):
+        return node.names[0].name if node.names else None
+    if isinstance(node, ast.ImportFrom):
+        return _resolve_relative(module.module, node.level, node.module)
+    return None
+
+
+def _resolve_relative(
+    current: str, level: int, target: Optional[str]
+) -> Optional[str]:
+    """Absolute dotted path of a (possibly relative) import source."""
+    if level == 0:
+        return target
+    if not current:
+        return None  # relative import outside the package tree
+    parts = current.split(".")
+    if level > len(parts):
+        return None
+    base = parts[: len(parts) - level]
+    if target:
+        base += target.split(".")
+    return ".".join(base) if base else None
+
+
+def _tainted_names(module: "ModuleSource") -> Set[str]:
+    """Local names bound (at module level) to fast-engine code."""
+    tainted: Set[str] = set()
+    for node in module.tree.body:
+        if isinstance(node, ast.ImportFrom):
+            source = _resolve_relative(
+                module.module, node.level, node.module
+            )
+            if source is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                origin = f"{source}.{alias.name}"
+                if (
+                    source in _FAST_ENGINE_MODULES
+                    or origin in _FAST_ENGINE_MODULES
+                ):
+                    tainted.add(local)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _FAST_ENGINE_MODULES:
+                    tainted.add(alias.asname or alias.name.split(".")[0])
+    return tainted
+
+
+@register_check_rule
+class CliFlagsDocumented(CheckRule):
+    """Every CLI flag defined in a ``cli.py`` must appear in ``docs/``.
+
+    The CLI is the operational surface of the system; a flag that only
+    exists in ``add_argument`` calls is invisible to operators reading
+    the docs and silently drifts from them.  The diagnostics engine
+    already holds docs to this standard (``docs/DIAGNOSTICS.md`` is
+    generated and sync-checked in CI); flags deserve the same.
+
+    Remediation: Document the flag (with its subcommand) in
+    ``docs/CLI.md`` — or whichever ``docs/*.md`` covers its subsystem —
+    in the same change that introduces it.
+    """
+
+    code = "RC108"
+    title = "CLI flags documented under docs/"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        if not module.rel.endswith("cli.py"):
+            return
+        docs = project.docs_text()
+        seen: Dict[str, bool] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flag = arg.value
+                    if seen.get(flag):
+                        continue
+                    if f"`{flag}`" in docs or flag in docs:
+                        seen[flag] = True
+                        continue
+                    seen[flag] = True
+                    yield self.finding(
+                        module,
+                        arg,
+                        f"flag {flag} is not documented in any docs/*.md",
+                    )

@@ -1,0 +1,244 @@
+"""Snapshot immutability invariants: RC102, RC105.
+
+The whole scaling architecture hangs off frozen snapshots: one
+``AnalysisContext`` (with its ``RibSnapshot``/``RoaSnapshot``) is built
+per run and shared across worker processes, and the serve layer swaps
+immutable ``LeaseIndex`` generations atomically.  Mutating one of
+these after construction corrupts every consumer that assumed the
+freeze; shipping a non-spawn-safe class through ``run_sharded`` blows
+up only on spawn platforms, long after the code merged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from ..context import infer_local_types, iter_scopes, walk_scope
+from ..model import CheckFinding, CheckRule, register_check_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import ModuleSource, ProjectContext
+
+__all__ = ["SnapshotImmutability", "SpawnSafePayloads"]
+
+#: Frozen snapshot classes → the one module allowed to touch their
+#: attributes (their defining module, i.e. ``__init__`` and friends).
+FROZEN_CLASSES: Dict[str, str] = {
+    "AnalysisContext": "repro.core.context",
+    "RibSnapshot": "repro.core.context",
+    "RoaSnapshot": "repro.core.context",
+    "LeaseIndex": "repro.serve.index",
+}
+
+
+@register_check_rule
+class SnapshotImmutability(CheckRule):
+    """No attribute assignment on frozen snapshot instances outside
+    their defining module.
+
+    ``AnalysisContext``, ``RibSnapshot``, ``RoaSnapshot`` and
+    ``LeaseIndex`` are built once and then shared — across worker
+    processes (pickled at fork/spawn) and across concurrent requests
+    (generation-swapped).  Any post-construction mutation desynchronizes
+    copies silently: workers keep the old value, the serve cache keys
+    stop matching, and digest equivalence with the frozen references
+    breaks in ways no local test sees.
+
+    Remediation: Build a *new* snapshot with the changed value (the
+    constructors and ``from_*``/``build`` factories exist for this) or,
+    if the field genuinely must vary per run, move it out of the
+    snapshot into the call path.
+    """
+
+    code = "RC102"
+    title = "frozen snapshots are never mutated outside their module"
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        for scope in iter_scopes(module.tree):
+            types = infer_local_types(scope, FROZEN_CLASSES)
+            if not types:
+                continue
+            for node in walk_scope(scope):
+                yield from self._scan_statement(module, node, types)
+
+    def _scan_statement(
+        self,
+        module: "ModuleSource",
+        node: ast.AST,
+        types: Dict[str, str],
+    ) -> Iterator[CheckFinding]:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            hit = _frozen_attribute_target(target, types)
+            if hit is None:
+                continue
+            name, cls = hit
+            if module.module == FROZEN_CLASSES[cls]:
+                continue  # the defining module may initialize itself
+            verb = "del" if isinstance(node, ast.Delete) else "assignment"
+            yield self.finding(
+                module,
+                target,
+                f"{verb} on attribute of frozen {cls} instance "
+                f"{name!r} outside {FROZEN_CLASSES[cls]}",
+            )
+
+
+def _frozen_attribute_target(
+    target: ast.expr, types: Dict[str, str]
+) -> Optional[tuple]:
+    """``(name, class)`` when *target* writes through a frozen instance."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value  # x.attr[...] = ... mutates interior state
+    if not isinstance(node, ast.Attribute):
+        return None
+    base = node.value
+    if isinstance(base, ast.Name) and base.id in types:
+        return base.id, types[base.id]
+    return None
+
+
+@register_check_rule
+class SpawnSafePayloads(CheckRule):
+    """Classes shipped through ``run_sharded`` payloads must be
+    deliberately spawn-safe.
+
+    ``run_sharded`` pickles its payload into every worker; on spawn
+    platforms that is the *only* state a worker gets.  A class with no
+    ``__getstate__``/``__reduce__``/``__slots__`` has never had its
+    pickled form thought about — lazily built caches, open handles, or
+    megabytes of derived indexes ride along silently (the
+    ``AnalysisContext.__getstate__`` leaf-record drop exists precisely
+    because of this).
+
+    Remediation: Give the class an explicit ``__getstate__`` (drop
+    derived/unpicklable state) or ``__slots__`` declaration, or — after
+    reviewing its pickled size and contents — add it to this rule's
+    ``ALLOWLIST``.
+    """
+
+    code = "RC105"
+    title = "run_sharded payload classes define their pickled form"
+
+    #: Class names vetted as safe to pickle without explicit protocol
+    #: support (reviewed: small, immutable, no derived state).
+    ALLOWLIST: Set[str] = set()
+
+    def check(
+        self, module: "ModuleSource", project: "ProjectContext"
+    ) -> Iterator[CheckFinding]:
+        for scope in iter_scopes(module.tree):
+            types: Optional[Dict[str, str]] = None
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_run_sharded(node.func) or not node.args:
+                    continue
+                if types is None:
+                    types = _all_local_classes(scope)
+                payload = _resolve_payload(scope, node.args[0])
+                for cls_name, at in _payload_classes(payload, types):
+                    yield from self._audit_class(
+                        module, project, cls_name, at
+                    )
+
+    def _audit_class(
+        self,
+        module: "ModuleSource",
+        project: "ProjectContext",
+        cls_name: str,
+        node: ast.AST,
+    ) -> Iterator[CheckFinding]:
+        if cls_name in self.ALLOWLIST:
+            return
+        defs = project.class_defs(cls_name)
+        for _def_module, class_def in defs:
+            if _is_spawn_safe(class_def):
+                return
+        if not defs:
+            return  # defined outside the checked tree; nothing to judge
+        yield self.finding(
+            module,
+            node,
+            f"{cls_name} rides a run_sharded payload but defines no "
+            "__getstate__/__reduce__/__slots__",
+        )
+
+
+def _is_run_sharded(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "run_sharded"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "run_sharded"
+    return False
+
+
+def _all_local_classes(scope: ast.AST) -> Dict[str, str]:
+    """Local name → class name, for any inferable class (not a fixed set).
+
+    Reuses the shared inference but keeps *every* class-like binding:
+    the payload rule judges safety per class definition rather than
+    against a known list.
+    """
+
+    class _Everything:
+        def __contains__(self, item: object) -> bool:
+            return isinstance(item, str)
+
+    return infer_local_types(scope, _Everything())
+
+
+def _resolve_payload(scope: ast.AST, payload: ast.expr) -> ast.expr:
+    """Chase ``payload = (...)`` bindings so wrapped tuples are seen."""
+    if not isinstance(payload, ast.Name):
+        return payload
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == payload.id
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                ):
+                    return node.value
+    return payload
+
+
+def _payload_classes(payload: ast.expr, types: Dict[str, str]):
+    """Yield ``(class_name, node)`` for classes visible in *payload*."""
+    for node in ast.walk(payload):
+        if isinstance(node, ast.Name) and node.id in types:
+            yield types[node.id], node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id[:1].isupper():
+                yield func.id, node
+
+
+def _is_spawn_safe(class_def: ast.ClassDef) -> bool:
+    """True when the class declares its pickled form explicitly."""
+    for stmt in class_def.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name in ("__getstate__", "__reduce__"):
+                return True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+    return False

@@ -35,6 +35,7 @@ __all__ = [
     "all_rules",
     "rule_for_code",
     "rules_for_dataset",
+    "split_docstring",
 ]
 
 
@@ -84,6 +85,7 @@ class Dataset(enum.Enum):
     RPKI = "rpki"
     ASDATA = "asdata"
     TREE = "tree"
+    TEMPORAL = "temporal"
     CROSS = "cross"
 
 
@@ -167,15 +169,22 @@ class Rule:
     @classmethod
     def rationale(cls) -> str:
         """The docstring paragraphs before ``Remediation:``."""
-        return _split_docstring(cls)[0]
+        return split_docstring(cls)[0]
 
     @classmethod
     def remediation(cls) -> str:
         """The ``Remediation:`` paragraph of the docstring (or empty)."""
-        return _split_docstring(cls)[1]
+        return split_docstring(cls)[1]
 
 
-def _split_docstring(rule_class: Type[Rule]) -> List[str]:
+def split_docstring(rule_class: type) -> List[str]:
+    """``[rationale, remediation]`` from a rule class docstring.
+
+    Shared by the dataset diagnostics registry and the ``repro check``
+    source-analysis registry (:mod:`repro.check.model`): the first
+    paragraphs are the rationale, an optional ``Remediation:`` paragraph
+    is the operator guidance.
+    """
     doc = (rule_class.__doc__ or "").strip()
     marker = "Remediation:"
     if marker in doc:
