@@ -252,16 +252,18 @@ class LeaseQueryServer:
                 )
                 if not keep_alive:
                     break
+        # repro-check: ignore[RC106] -- client hangups are routine, not errors
         except (
             ConnectionError,
             asyncio.IncompleteReadError,
             asyncio.LimitOverrunError,
         ):
-            pass
+            pass  # the peer is gone; nothing to answer, nothing to log
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
+            # repro-check: ignore[RC106] -- close-time resets are expected
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
