@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint docs bench bench-pipeline bench-serve report data clean
+.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-serve report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,11 +13,19 @@ test:
 coverage:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/ --cov=repro --cov-report=term --cov-fail-under=90
 
-lint:
+lint: check
 	$(PYTHON) scripts/lint.py
+
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check --fail-on warning
+	PYTHONPATH=src $(PYTHON) -m repro.check.ratchet compare
+
+ratchet-update:
+	PYTHONPATH=src $(PYTHON) -m repro.check.ratchet update
 
 docs:
 	PYTHONPATH=src $(PYTHON) -m repro.diagnostics > docs/DIAGNOSTICS.md
+	PYTHONPATH=src $(PYTHON) -m repro.check > docs/STATIC_ANALYSIS.md
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -61,6 +61,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "abuse": _cmd_abuse,
         "legacy": _cmd_legacy,
         "lint": _cmd_lint,
+        "check": _cmd_check,
         "release": _cmd_release,
         "rpki": _cmd_rpki,
         "timeline": _cmd_timeline,
@@ -179,6 +180,48 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="CODE=LEVEL",
         help="override a rule's severity, e.g. W105=error (repeatable)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="run the source-level invariant analyzer over the repo",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="files or directories to check (default: src and scripts)",
+    )
+    check.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="repository root (default: current directory)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    check.add_argument(
+        "--fail-on",
+        choices=("error", "warning", "never"),
+        default="warning",
+        help="exit non-zero at/above this severity (default warning)",
+    )
+    check.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="run only these rule codes (repeatable)",
+    )
+    check.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply the mechanically safe fixes and re-check",
     )
 
     timeline = sub.add_parser(
@@ -671,6 +714,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         None if args.fail_on == "never" else Severity.parse(args.fail_on)
     )
     return report.exit_code(fail_on)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .check import CheckEngine, load_project
+    from .check.fixes import apply_fixes
+
+    root = args.root.resolve()
+    targets = args.paths or None
+    engine = CheckEngine(select=args.select or None)
+    report = engine.run(load_project(root, targets))
+    if args.fix:
+        applied = apply_fixes(root, report.findings)
+        for rel in sorted(applied):
+            print(f"fixed {applied[rel]} finding(s) in {rel}")
+        if applied:  # re-check so the report reflects the new text
+            report = engine.run(load_project(root, targets))
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text())
+    return report.exit_code(args.fail_on)
 
 
 def _strict_gate(context) -> int:
