@@ -28,6 +28,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..asdata.hijackers import SerialHijackerList
     from ..asdata.relationships import ASRelationships
     from ..bgp.rib import RoutingTable
+    from ..core.timeline import BgpOriginHistory
+    from ..net import Prefix
+    from ..rpki.archive import RpkiArchive
     from ..rpki.roa import RoaSet
     from ..simulation.io import DatasetBundle
     from ..simulation.world import World
@@ -47,6 +50,10 @@ class DiagnosticContext:
         as2org: Optional["AS2Org"] = None,
         drop: Optional["AsnDropList"] = None,
         hijackers: Optional["SerialHijackerList"] = None,
+        rpki_archive: Optional["RpkiArchive"] = None,
+        origin_histories: Optional[
+            Dict["Prefix", "BgpOriginHistory"]
+        ] = None,
     ) -> None:
         self.whois = whois
         self.routing_table = routing_table
@@ -55,6 +62,12 @@ class DiagnosticContext:
         self.as2org = as2org
         self.drop = drop
         self.hijackers = hijackers
+        #: Longitudinal inputs for the temporal (T4xx) rules: the ROA
+        #: archive plus per-prefix BGP origin time series.  Both may be
+        #: absent (rules yield nothing); today they carry the featured
+        #: Fig. 3 prefix, but the shape supports any number of prefixes.
+        self.rpki_archive = rpki_archive
+        self.origin_histories = origin_histories or {}
         self._trees: Optional[Dict[RIR, AllocationTree]] = None
         self._registered: Optional[PrefixTrie[InetnumRecord]] = None
         self._asn_registrations: Optional[
@@ -65,6 +78,16 @@ class DiagnosticContext:
     @classmethod
     def from_bundle(cls, bundle: "DatasetBundle") -> "DiagnosticContext":
         """Wrap an on-disk dataset bundle (the CLI path)."""
+        rpki_archive = None
+        origin_histories = None
+        featured = bundle.featured
+        if featured is not None:
+            rpki_archive = featured.rpki_archive
+            origin_histories = {
+                featured.prefix: featured.updates.origin_history(
+                    featured.prefix
+                )
+            }
         return cls(
             whois=bundle.whois,
             routing_table=bundle.routing_table,
@@ -73,11 +96,19 @@ class DiagnosticContext:
             as2org=bundle.as2org,
             drop=bundle.drop_archive.union(),
             hijackers=bundle.hijackers,
+            rpki_archive=rpki_archive,
+            origin_histories=origin_histories,
         )
 
     @classmethod
     def from_world(cls, world: "World") -> "DiagnosticContext":
         """Wrap an in-memory simulated world (``run-all``/tests path)."""
+        from ..core.timeline import BgpOriginHistory
+
+        featured = world.featured
+        history = BgpOriginHistory()
+        for timestamp, origins in featured.bgp_observations:
+            history.add_observation(timestamp, origins)
         return cls(
             whois=world.whois,
             routing_table=world.routing_table,
@@ -86,6 +117,8 @@ class DiagnosticContext:
             as2org=world.as2org,
             drop=world.drop,
             hijackers=world.hijackers,
+            rpki_archive=featured.rpki_archive,
+            origin_histories={featured.prefix: history},
         )
 
     @classmethod

@@ -2,10 +2,19 @@
 
 Importing this package populates the global registry in
 :mod:`repro.diagnostics.model`; series letters map to datasets:
-``W`` WHOIS, ``B`` BGP, ``R`` RPKI, ``T`` allocation tree, ``A`` AS
-metadata, ``X`` cross-dataset.
+``W`` WHOIS, ``B`` BGP, ``R`` RPKI, ``T`` allocation tree (T401–T404)
+and the temporal series (T405+), ``A`` AS metadata, ``X``
+cross-dataset.
 """
 
-from . import asdata, bgp, cross, rpki, tree, whois
+from . import asdata, bgp, cross, rpki, temporal, tree, whois
 
-__all__ = ["asdata", "bgp", "cross", "rpki", "tree", "whois"]
+__all__ = [
+    "asdata",
+    "bgp",
+    "cross",
+    "rpki",
+    "temporal",
+    "tree",
+    "whois",
+]

@@ -1,0 +1,74 @@
+"""Temporal rules: longitudinal consistency across snapshot series.
+
+Where the other rule families audit one snapshot, these correlate the
+*time series* the longitudinal inputs carry — the ROA archive
+(:class:`repro.rpki.archive.RpkiArchive`) against the per-prefix BGP
+origin history (:class:`repro.core.timeline.BgpOriginHistory`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..model import Dataset, Diagnostic, Rule, Severity, register_rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..context import DiagnosticContext
+
+__all__ = ["RoaChurnWithoutOriginChange"]
+
+
+@register_rule
+class RoaChurnWithoutOriginChange(Rule):
+    """ROA churn with no matching BGP origin change nearby.
+
+    In the leasing timelines of §6, a ROA rewrite marks a custody
+    change: the address holder re-authorizes a new origin and BGP
+    follows within days.  A ROA change that *no* origin change
+    accompanies — within a week on either side — means the control
+    plane and the data plane disagree: a stale or premature ROA, a
+    mis-dated archive snapshot, or authorization churn for a prefix
+    that never moved.  Either way the lease-duration estimates built
+    from these series inherit the inconsistency.
+
+    Remediation: Check the ROA archive snapshot dates against the BGP
+    update stream for the prefix.  If the archive is trustworthy, the
+    finding documents real-world churn (an unused authorization being
+    rotated); exclude the prefix from duration estimates or widen the
+    correlation window deliberately.
+    """
+
+    code = "T405"
+    title = "ROA churn without matching BGP origin change"
+    dataset = Dataset.TEMPORAL
+    default_severity = Severity.WARNING
+
+    #: Half-width of the correlation window: a BGP origin change within
+    #: this many seconds (one week) of the ROA change matches it.
+    WINDOW_S = 7 * 24 * 3600
+
+    def check(self, context: "DiagnosticContext") -> Iterator[Diagnostic]:
+        archive = context.rpki_archive
+        if archive is None or not context.origin_histories:
+            return
+        for prefix, history in context.origin_histories.items():
+            bgp_changes = [ts for ts, _ in history.change_points()]
+            roa_changes = archive.change_points(prefix)
+            # The first archive snapshot is the initial state, not churn.
+            for timestamp, origins in roa_changes[1:]:
+                if any(
+                    abs(timestamp - bgp_ts) <= self.WINDOW_S
+                    for bgp_ts in bgp_changes
+                ):
+                    continue
+                authorized = (
+                    ",".join(f"AS{asn}" for asn in sorted(origins))
+                    or "none"
+                )
+                yield self.finding(
+                    str(prefix),
+                    f"ROA change at t={timestamp} (now authorizing "
+                    f"{authorized}) has no BGP origin change within "
+                    f"{self.WINDOW_S // 86400} days",
+                    location="rpki-archive",
+                )

@@ -1,0 +1,112 @@
+"""The T405 temporal rule: ROA churn vs BGP origin changes."""
+
+from repro.core.timeline import BgpOriginHistory
+from repro.diagnostics import DiagnosticContext, DiagnosticsEngine
+from repro.diagnostics.model import Dataset, rule_for_code
+from repro.net import Prefix
+from repro.rpki.archive import RpkiArchive
+from repro.rpki.roa import ROA, RoaSet
+from repro.simulation import build_world, small_world
+
+PREFIX = Prefix.parse("192.0.2.0/24")
+
+DAY = 24 * 3600
+
+
+def _archive(*events):
+    """Archive with one snapshot per ``(timestamp, asn)`` event."""
+    archive = RpkiArchive()
+    for timestamp, asn in events:
+        archive.add_snapshot(timestamp, RoaSet([ROA(PREFIX, asn)]))
+    return archive
+
+
+def _history(*events):
+    history = BgpOriginHistory()
+    for timestamp, asn in events:
+        history.add_observation(timestamp, frozenset({asn}))
+    return history
+
+
+def _t405_findings(archive, history):
+    context = DiagnosticContext(
+        rpki_archive=archive,
+        origin_histories={PREFIX: history},
+    )
+    report = DiagnosticsEngine().run(context)
+    return [f for f in report.findings if f.code == "T405"]
+
+
+def test_t405_registered_as_temporal():
+    rule = rule_for_code("T405")
+    assert rule is not None
+    assert rule.dataset is Dataset.TEMPORAL
+    assert rule.rationale() and rule.remediation()
+
+
+def test_fires_on_roa_churn_without_origin_change():
+    # ROA flips at day 100; BGP origin never changes after day 0.
+    archive = _archive((0, 64500), (100 * DAY, 64501))
+    history = _history((0, 64500), (100 * DAY, 64500))
+    findings = _t405_findings(archive, history)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.subject == str(PREFIX)
+    assert "AS64501" in finding.message
+    assert finding.location == "rpki-archive"
+
+
+def test_silent_when_origin_follows_within_window():
+    # BGP follows the ROA change three days later: matched.
+    archive = _archive((0, 64500), (100 * DAY, 64501))
+    history = _history((0, 64500), (103 * DAY, 64501))
+    assert _t405_findings(archive, history) == []
+
+
+def test_silent_when_origin_leads_within_window():
+    # BGP moved first and the ROA caught up five days later: matched.
+    archive = _archive((0, 64500), (100 * DAY, 64501))
+    history = _history((0, 64500), (95 * DAY, 64501))
+    assert _t405_findings(archive, history) == []
+
+
+def test_fires_outside_the_week_window():
+    archive = _archive((0, 64500), (100 * DAY, 64501))
+    history = _history((0, 64500), (110 * DAY, 64501))
+    findings = _t405_findings(archive, history)
+    assert len(findings) == 1
+    assert "7 days" in findings[0].message
+
+
+def test_initial_snapshot_is_not_churn():
+    archive = _archive((0, 64500))
+    history = _history((50 * DAY, 64500))
+    assert _t405_findings(archive, history) == []
+
+
+def test_silent_without_temporal_inputs():
+    context = DiagnosticContext()
+    report = DiagnosticsEngine().run(context)
+    assert not [f for f in report.findings if f.code == "T405"]
+
+
+def test_world_timeline_is_self_consistent():
+    """The simulated featured prefix aligns ROA churn with BGP moves,
+    so a full run over a generated world yields no T405 findings."""
+    world = build_world(small_world(seed=11))
+    context = DiagnosticContext.from_world(world)
+    assert context.rpki_archive is not None
+    assert context.origin_histories
+    report = DiagnosticsEngine().run(context)
+    assert not [f for f in report.findings if f.code == "T405"]
+
+
+def test_bundle_roundtrip_carries_temporal_inputs(tmp_path):
+    from repro.simulation.io import load_datasets, write_world
+
+    world = build_world(small_world(seed=11))
+    write_world(world, tmp_path)
+    bundle = load_datasets(tmp_path)
+    context = DiagnosticContext.from_bundle(bundle)
+    assert context.rpki_archive is not None
+    assert list(context.origin_histories) == [bundle.featured.prefix]
