@@ -1,0 +1,11 @@
+"""RC101 must stay silent: parallelism goes through run_sharded."""
+
+from repro.core.sharding import run_sharded
+
+
+def fan_out(payload, unit_lengths):
+    return run_sharded(payload, _runner, unit_lengths, workers=2)
+
+
+def _runner(shard):
+    return [str(item) for item in shard]

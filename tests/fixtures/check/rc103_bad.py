@@ -1,0 +1,33 @@
+"""RC103 must fire: hash-order, unseeded random, and wall-clock leaks."""
+
+import random
+import time
+
+
+def digest_rows(leaves):
+    pending = {leaf.key for leaf in leaves}
+    rows = []
+    for key in pending:
+        rows.append(str(key))
+    return rows
+
+
+def comprehension_order(routes):
+    seen = set(routes)
+    return [str(route) for route in seen]
+
+
+def joined_output(origins: set) -> str:
+    return ",".join(str(asn) for asn in origins)
+
+
+def listed(keys):
+    return list({key for key in keys})
+
+
+def sampled(population):
+    return random.choice(sorted(population))
+
+
+def stamped():
+    return time.time()

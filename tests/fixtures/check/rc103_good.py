@@ -1,0 +1,40 @@
+"""RC103 must stay silent: sorted iteration, seeded RNG, no wall clock."""
+
+import random
+import time
+
+
+def digest_rows(leaves):
+    pending = {leaf.key for leaf in leaves}
+    rows = []
+    for key in sorted(pending):
+        rows.append(str(key))
+    return rows
+
+
+def comprehension_order(routes):
+    seen = set(routes)
+    return [str(route) for route in sorted(seen)]
+
+
+def joined_output(origins: set) -> str:
+    return ",".join(str(asn) for asn in sorted(origins))
+
+
+def order_insensitive(keys):
+    # Aggregating a set into a set/count never observes the order.
+    total = 0
+    for key in {key for key in keys}:
+        total += hash(key) % 2
+    return total
+
+
+def sampled(population, seed: int):
+    rng = random.Random(seed)
+    return rng.choice(sorted(population))
+
+
+def timed(fn):
+    start = time.perf_counter()  # intervals are fine; wall clock is not
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,19 @@
+"""RC105 must fire: a payload class with no declared pickled form."""
+
+from repro.core.sharding import run_sharded
+
+
+class HeavyState:
+    def __init__(self, records):
+        self.records = records
+        self.cache = {}  # lazily built; would ride the pickle silently
+
+
+def classify(records, unit_lengths):
+    state = HeavyState(records)
+    payload = (state, len(records))
+    return run_sharded(payload, _runner, unit_lengths, workers=2)
+
+
+def _runner(shard):
+    return list(shard)

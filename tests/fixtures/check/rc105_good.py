@@ -1,0 +1,33 @@
+"""RC105 must stay silent: payload classes declare their pickled form."""
+
+from repro.core.sharding import run_sharded
+
+
+class LeanState:
+    def __init__(self, records):
+        self.records = records
+        self.cache = {}
+
+    def __getstate__(self):
+        return {"records": self.records}  # the cache stays home
+
+    def __setstate__(self, state):
+        self.records = state["records"]
+        self.cache = {}
+
+
+class SlottedState:
+    __slots__ = ("records",)
+
+    def __init__(self, records):
+        self.records = records
+
+
+def classify(records, unit_lengths):
+    state = LeanState(records)
+    payload = (state, SlottedState(records))
+    return run_sharded(payload, _runner, unit_lengths, workers=2)
+
+
+def _runner(shard):
+    return list(shard)

@@ -1,0 +1,16 @@
+"""RC106 must fire: bare except and silently swallowed exceptions."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def swallow_silently(fn):
+    try:
+        return fn()
+    except ValueError:
+        pass
+    return None

@@ -1,0 +1,9 @@
+"""RC106 must stay silent: exceptions are narrowed and observable."""
+
+
+def handle(fn, fallback, log):
+    try:
+        return fn()
+    except ValueError as error:
+        log.append(f"fn failed: {error}")
+        return fallback

@@ -1,0 +1,18 @@
+"""RC107 must stay silent: the reference is self-contained, and fast
+engines may use the shared snapshot freely."""
+
+from repro.core.context import AnalysisContext
+
+
+def run_reference(records):
+    # The frozen specification: plain, serial, no shared engine code.
+    return [classify_one(record) for record in records]
+
+
+def run_fast(records):
+    context = AnalysisContext.build(records)
+    return context
+
+
+def classify_one(record):
+    return str(record)

@@ -1,0 +1,9 @@
+"""RC108 must fire: a flag defined in a cli module but absent from docs."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--totally-undocumented-flag", action="store_true")
+    return parser

@@ -1,0 +1,9 @@
+"""RC108 must stay silent: no undocumented ``--`` flags defined."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("target", nargs="?")  # positionals need no docs
+    return parser

@@ -1,0 +1,186 @@
+"""The mypy strictness ratchet: parsing, comparison, baseline I/O.
+
+The comparison semantics are pure text processing, so the gate is
+fully tested here even though the analysis container does not ship
+mypy (CI installs it and runs the real measurement).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check.ratchet import (
+    STRICT_ARGS,
+    compare_counts,
+    load_baseline,
+    parse_mypy_output,
+    shrunk_modules,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+CANNED_OUTPUT = """\
+src/repro/core/pipeline.py:12: error: Function is missing a return type \
+annotation  [no-untyped-def]
+src/repro/core/pipeline.py:40: error: Call to untyped function "classify" \
+[no-untyped-call]
+src/repro/core/pipeline.py:41: note: See the docs for details
+src/repro/serve/http.py:7: error: Missing type parameters for generic \
+type "dict"  [type-arg]
+Found 3 errors in 2 files (checked 119 source files)
+"""
+
+
+def test_parse_counts_errors_per_module():
+    counts = parse_mypy_output(CANNED_OUTPUT)
+    assert counts == {
+        "src/repro/core/pipeline.py": 2,
+        "src/repro/serve/http.py": 1,
+    }
+
+
+def test_parse_ignores_notes_and_summary():
+    counts = parse_mypy_output("just a note line\nFound 3 errors\n")
+    assert counts == {}
+
+
+def test_parse_windows_paths_normalized():
+    counts = parse_mypy_output(
+        r"src\repro\cli.py:3: error: boom  [misc]"
+    )
+    assert counts == {"src/repro/cli.py": 1}
+
+
+def _baseline(modules, bootstrap=False):
+    return {
+        "bootstrap": bootstrap,
+        "strict_args": STRICT_ARGS,
+        "modules": modules,
+    }
+
+
+def test_compare_passes_at_or_below_baseline():
+    baseline = _baseline({"src/repro/a.py": 2, "src/repro/b.py": 1})
+    current = {"src/repro/a.py": 2, "src/repro/b.py": 0}
+    assert compare_counts(baseline, current) == []
+
+
+def test_compare_rejects_growth():
+    baseline = _baseline({"src/repro/a.py": 2})
+    problems = compare_counts(baseline, {"src/repro/a.py": 3})
+    assert problems == [
+        "src/repro/a.py: 3 strict errors exceeds baseline 2"
+    ]
+
+
+def test_compare_rejects_new_dirty_module():
+    baseline = _baseline({"src/repro/a.py": 2})
+    problems = compare_counts(baseline, {"src/repro/new.py": 1})
+    assert problems == ["src/repro/new.py: 1 strict errors exceeds "
+                        "new module"]
+
+
+def test_compare_allows_module_disappearing():
+    baseline = _baseline({"src/repro/gone.py": 5})
+    assert compare_counts(baseline, {}) == []
+
+
+def test_shrunk_modules_reported():
+    baseline = _baseline({"src/repro/a.py": 2, "src/repro/b.py": 1})
+    current = {"src/repro/a.py": 1, "src/repro/b.py": 1}
+    assert shrunk_modules(baseline, current) == ["src/repro/a.py"]
+
+
+def test_compare_rejects_malformed_baseline():
+    with pytest.raises(ValueError):
+        compare_counts({"modules": "nope"}, {})
+
+
+def test_baseline_roundtrip(tmp_path):
+    path = tmp_path / "ratchet.json"
+    write_baseline(path, {"src/repro/z.py": 1, "src/repro/a.py": 3})
+    loaded = load_baseline(path)
+    assert loaded["bootstrap"] is False
+    assert loaded["strict_args"] == STRICT_ARGS
+    assert list(loaded["modules"]) == ["src/repro/a.py", "src/repro/z.py"]
+
+
+def test_committed_baseline_is_valid():
+    path = REPO_ROOT / "scripts" / "mypy_ratchet.json"
+    baseline = load_baseline(path)
+    assert baseline["strict_args"] == STRICT_ARGS
+    assert isinstance(baseline["modules"], dict)
+    # Bootstrap mode is only legitimate while the counts are unmeasured;
+    # a measured baseline must never regress to bootstrap.
+    if not baseline["bootstrap"]:
+        assert baseline["modules"], "measured baseline with no modules"
+
+
+def test_committed_baseline_json_stable():
+    path = REPO_ROOT / "scripts" / "mypy_ratchet.json"
+    raw = path.read_text(encoding="utf-8")
+    assert raw == json.dumps(json.loads(raw), indent=2) + "\n"
+
+
+def test_cli_compare_without_mypy_is_soft(tmp_path, capsys, monkeypatch):
+    import repro.check.ratchet as ratchet
+
+    write_baseline(tmp_path / "r.json", {}, bootstrap=True)
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    code = ratchet.main(["compare", "--baseline", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "skipped" in out
+
+
+def test_cli_update_without_mypy_fails(tmp_path, capsys, monkeypatch):
+    import repro.check.ratchet as ratchet
+
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    code = ratchet.main(["update", "--baseline", str(tmp_path / "r.json")])
+    assert code == 1
+    assert "cannot measure" in capsys.readouterr().out
+
+
+def test_cli_compare_bootstrap_reports_only(tmp_path, capsys, monkeypatch):
+    import repro.check.ratchet as ratchet
+
+    write_baseline(tmp_path / "r.json", {}, bootstrap=True)
+    baseline = json.loads((tmp_path / "r.json").read_text())
+    baseline["bootstrap"] = True
+    (tmp_path / "r.json").write_text(json.dumps(baseline))
+    monkeypatch.setattr(
+        ratchet, "measure", lambda target: {"src/repro/x.py": 9}
+    )
+    code = ratchet.main(["compare", "--baseline", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bootstrap" in out
+
+
+def test_cli_compare_gate_trips(tmp_path, capsys, monkeypatch):
+    import repro.check.ratchet as ratchet
+
+    write_baseline(tmp_path / "r.json", {"src/repro/x.py": 1})
+    monkeypatch.setattr(
+        ratchet, "measure", lambda target: {"src/repro/x.py": 2}
+    )
+    code = ratchet.main(["compare", "--baseline", str(tmp_path / "r.json")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "exceeds baseline" in out
+
+
+def test_cli_update_writes_measured_baseline(tmp_path, capsys, monkeypatch):
+    import repro.check.ratchet as ratchet
+
+    monkeypatch.setattr(
+        ratchet, "measure", lambda target: {"src/repro/x.py": 4}
+    )
+    code = ratchet.main(["update", "--baseline", str(tmp_path / "r.json")])
+    assert code == 0
+    written = load_baseline(tmp_path / "r.json")
+    assert written["bootstrap"] is False
+    assert written["modules"] == {"src/repro/x.py": 4}

@@ -1,0 +1,188 @@
+"""Fixture-driven coverage for every ``repro check`` rule.
+
+Each rule has at least one ``rc###_bad*.py`` fixture it must fire on
+and one ``rc###_good*.py`` fixture it must stay silent on; the
+meta-test enforces that the pairing exists for *every* registered rule,
+so a new rule cannot land untested.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.check import CheckEngine, all_check_rules, load_project
+
+FIXTURES = Path(__file__).parent / "fixtures" / "check"
+
+
+def _findings_for(code, fixture_name):
+    engine = CheckEngine(select=[code])
+    project = load_project(FIXTURES, [fixture_name])
+    assert project.modules, f"fixture {fixture_name} did not load"
+    report = engine.run(project)
+    return [finding for finding in report.findings if finding.code == code]
+
+
+def _fixture_names(code, kind):
+    return sorted(
+        path.name for path in FIXTURES.glob(f"{code.lower()}_{kind}*.py")
+    )
+
+
+def test_every_rule_has_fixture_pair():
+    """Meta-test: each registered rule ships a failing and a passing
+    fixture."""
+    rules = all_check_rules()
+    assert len(rules) >= 8
+    for rule in rules:
+        assert _fixture_names(rule.code, "bad"), (
+            f"{rule.code} has no bad fixture under tests/fixtures/check"
+        )
+        assert _fixture_names(rule.code, "good"), (
+            f"{rule.code} has no good fixture under tests/fixtures/check"
+        )
+
+
+@pytest.mark.parametrize("rule", all_check_rules(), ids=lambda r: r.code)
+def test_rule_fires_on_bad_and_passes_good(rule):
+    for name in _fixture_names(rule.code, "bad"):
+        assert _findings_for(rule.code, name), (
+            f"{rule.code} stayed silent on {name}"
+        )
+    for name in _fixture_names(rule.code, "good"):
+        findings = _findings_for(rule.code, name)
+        assert not findings, (
+            f"{rule.code} fired on {name}: {[str(f) for f in findings]}"
+        )
+
+
+def test_rule_codes_unique_and_well_formed():
+    rules = all_check_rules()
+    codes = [rule.code for rule in rules]
+    assert len(set(codes)) == len(codes)
+    for code in codes:
+        assert code.startswith("RC") and code[2:].isdigit()
+
+
+def test_every_rule_documents_itself():
+    for rule in all_check_rules():
+        assert rule.title, f"{rule.code} has no title"
+        assert rule.rationale(), f"{rule.code} has no rationale"
+        assert rule.remediation(), f"{rule.code} has no remediation"
+
+
+def test_rc101_pinpoints_every_import_form():
+    findings = _findings_for("RC101", "rc101_bad.py")
+    assert len(findings) == 3  # import, from-import, from-concurrent
+
+
+def test_rc102_sees_all_mutation_shapes():
+    messages = [f.message for f in _findings_for("RC102", "rc102_bad.py")]
+    assert len(messages) == 5
+    assert any("del" in message for message in messages)
+    assert any("LeaseIndex" in message for message in messages)
+    assert any("RibSnapshot" in message for message in messages)
+
+
+def test_rc103_separates_sets_random_and_clock():
+    messages = [f.message for f in _findings_for("RC103", "rc103_bad.py")]
+    assert sum("PYTHONHASHSEED" in m for m in messages) == 4
+    assert sum("unseeded global generator" in m for m in messages) == 1
+    assert sum("wall clock" in m for m in messages) == 1
+
+
+def test_rc103_offers_sorted_fixes():
+    engine = CheckEngine(select=["RC103"])
+    report = engine.run(load_project(FIXTURES, ["rc103_bad.py"]))
+    fixable = [f for f in report.findings if f.fix is not None]
+    assert fixable, "set-iteration findings should carry sorted() fixes"
+    for finding in fixable:
+        assert finding.fix.replacement.startswith("sorted(")
+
+
+def test_rc104_names_the_coroutine():
+    findings = _findings_for("RC104", "rc104_bad.py")
+    assert {"handler", "slow_config"} == {
+        f.message.rsplit(" ", 1)[-1] for f in findings
+    }
+
+
+def test_rc106_flags_bare_and_silent_separately():
+    messages = [f.message for f in _findings_for("RC106", "rc106_bad.py")]
+    assert any("bare except" in m for m in messages)
+    assert any("swallowed" in m for m in messages)
+
+
+def test_rc107_names_the_tainted_symbol():
+    messages = [f.message for f in _findings_for("RC107", "rc107_bad.py")]
+    assert any("run_sharded" in m for m in messages)
+    assert any("AnalysisContext" in m for m in messages)
+
+
+def test_rc108_reports_the_flag():
+    findings = _findings_for("RC108", "rc108_bad_cli.py")
+    assert any(
+        "--totally-undocumented-flag" in f.message for f in findings
+    )
+
+
+def test_suppression_requires_justification(tmp_path):
+    source = (
+        "def swallow(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except ValueError:  "
+        "# repro-check: ignore[RC106] -- best effort probe\n"
+        "        pass\n"
+    )
+    target = tmp_path / "suppressed.py"
+    target.write_text(source)
+    report = CheckEngine(select=["RC106"]).run(
+        load_project(tmp_path, ["suppressed.py"])
+    )
+    assert not report.findings
+    assert report.suppressed == 1
+
+    bare = source.replace(" -- best effort probe", "")
+    target.write_text(bare)
+    report = CheckEngine(select=["RC106"]).run(
+        load_project(tmp_path, ["suppressed.py"])
+    )
+    codes = {finding.code for finding in report.findings}
+    assert "RC106" in codes, "unjustified suppression must not suppress"
+    assert "RC100" in codes, "inert suppression must be reported"
+
+
+def test_standalone_suppression_covers_next_line(tmp_path):
+    source = (
+        "def swallow(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    # repro-check: ignore[RC106] -- demo justification above\n"
+        "    except ValueError:\n"
+        "        pass\n"
+    )
+    target = tmp_path / "above.py"
+    target.write_text(source)
+    report = CheckEngine(select=["RC106"]).run(
+        load_project(tmp_path, ["above.py"])
+    )
+    assert not report.findings
+    assert report.suppressed == 1
+
+
+def test_docstring_mention_is_not_a_suppression(tmp_path):
+    source = (
+        '"""Docs may say repro-check: ignore[RC106] freely."""\n'
+        "def swallow(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except ValueError:\n"
+        "        pass\n"
+    )
+    target = tmp_path / "doc.py"
+    target.write_text(source)
+    report = CheckEngine(select=["RC106"]).run(
+        load_project(tmp_path, ["doc.py"])
+    )
+    assert [f.code for f in report.findings] == ["RC106"]
