@@ -43,5 +43,5 @@ data:
 	$(PYTHON) -m repro.cli generate --out data/
 
 clean:
-	rm -rf data/ REPORT.md .pytest_cache .benchmarks
+	rm -rf data/ REPORT.md .pytest_cache .benchmarks .repro-check-cache.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -47,7 +47,6 @@ from .simulation import BENCH_SIZES, bench_world, build_world
 
 __all__ = [
     "SCHEMA_VERSION",
-    "DEFAULT_WORKER_COUNTS",
     "all_equivalent",
     "append_trajectory",
     "load_trajectory",

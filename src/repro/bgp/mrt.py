@@ -26,7 +26,6 @@ from .rib import RibEntry
 
 __all__ = [
     "MrtError",
-    "PeerEntry",
     "read_mrt",
     "write_mrt",
     "read_mrt_updates",

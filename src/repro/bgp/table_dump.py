@@ -18,7 +18,7 @@ from ..net import Prefix
 from .aspath import ASPath
 from .rib import RibEntry
 
-__all__ = ["format_entry", "parse_line", "read_table_dump", "write_table_dump"]
+__all__ = ["parse_line", "read_table_dump", "write_table_dump"]
 
 _MARKER = "TABLE_DUMP2"
 _TYPE = "B"

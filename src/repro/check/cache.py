@@ -1,0 +1,125 @@
+"""Content-hash result cache for the incremental check engine.
+
+One JSON file (``.repro-check-cache.json`` by default) maps each
+analyzed file to its content hash, its distilled
+:class:`~repro.check.graph.ModuleFacts`, and the module-scope findings
+it produced.  On a warm run the engine re-parses only files whose hash
+changed; unchanged files contribute their cached facts to the project
+graph and their cached findings to the report, so whole-program rules
+still see the whole program and the report is byte-identical to a cold
+run by construction — cold runs read their own freshly written entries
+through the same deserializer.
+
+The cache is invalidated wholesale when the *fingerprint* changes: the
+cache format version, the rule set, or any rule's effective severity.
+A stale or unreadable cache never fails the run — it degrades to a
+cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..diagnostics.model import Severity
+from .model import CheckFinding, Fix
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "file_sha",
+    "finding_from_dict",
+    "finding_to_dict",
+    "load_entries",
+    "save_entries",
+]
+
+#: Bump when the entry layout or the facts schema changes shape.
+CACHE_VERSION = 1
+
+#: Cache file name when ``--cache`` is not given (created under the
+#: analyzed root; gitignored).
+DEFAULT_CACHE_NAME = ".repro-check-cache.json"
+
+
+def file_sha(path: Path) -> str:
+    """Hex sha256 of *path*'s bytes."""
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def finding_to_dict(finding: CheckFinding) -> Dict[str, object]:
+    """Full-fidelity serialization (unlike ``to_dict``, keeps the fix)."""
+    payload: Dict[str, object] = {
+        "code": finding.code,
+        "severity": finding.severity.value,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "remediation": finding.remediation,
+        "fix": None,
+    }
+    if finding.fix is not None:
+        payload["fix"] = {
+            "start": list(finding.fix.start),
+            "end": list(finding.fix.end),
+            "replacement": finding.fix.replacement,
+        }
+    return payload
+
+
+def finding_from_dict(payload: Dict[str, object]) -> CheckFinding:
+    """Inverse of :func:`finding_to_dict`."""
+    fix_payload = payload.get("fix")
+    fix = None
+    if isinstance(fix_payload, dict):
+        fix = Fix(
+            start=tuple(fix_payload["start"]),
+            end=tuple(fix_payload["end"]),
+            replacement=str(fix_payload["replacement"]),
+        )
+    return CheckFinding(
+        code=str(payload["code"]),
+        severity=Severity.parse(str(payload["severity"])),
+        path=str(payload["path"]),
+        line=int(payload["line"]),  # type: ignore[arg-type]
+        column=int(payload["column"]),  # type: ignore[arg-type]
+        message=str(payload["message"]),
+        remediation=str(payload["remediation"]),
+        fix=fix,
+    )
+
+
+def load_entries(
+    path: Optional[Path], fingerprint: Dict[str, object]
+) -> Dict[str, Dict[str, object]]:
+    """Per-file cache entries, or empty when absent/stale/corrupt."""
+    if path is None or not path.is_file():
+        return {}
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    if not isinstance(document, dict):
+        return {}
+    if document.get("fingerprint") != fingerprint:
+        return {}
+    entries = document.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def save_entries(
+    path: Path,
+    fingerprint: Dict[str, object],
+    entries: Dict[str, Dict[str, object]],
+) -> None:
+    """Write the cache document (best effort — failures never gate)."""
+    document = {"fingerprint": fingerprint, "entries": entries}
+    try:
+        path.write_text(
+            json.dumps(document, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:  # repro-check: ignore[RC106] -- cache is an
+        pass  # optimization; an unwritable cache must not fail the run

@@ -29,6 +29,7 @@ __all__ = [
     "infer_local_types",
     "annotation_class_name",
     "iter_scopes",
+    "reference_corpus",
     "walk_scope",
 ]
 
@@ -38,6 +39,14 @@ __all__ = [
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-check:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\]"
     r"(?:\s*--\s*(?P<reason>\S.*))?"
+)
+
+#: Matches the module-name directive used by rule fixtures that sit
+#: outside the package tree: ``# repro-check: module=repro.core.foo``
+#: makes the file analyze as if it were that module (layer rules and
+#: defining-module exemptions need a dotted name to reason about).
+_MODULE_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-check:\s*module=(?P<name>[A-Za-z_][\w.]*)"
 )
 
 
@@ -53,12 +62,36 @@ class ModuleSource:
         #: dotted module name when under ``src/`` (``repro.core.pipeline``),
         #: empty for scripts/tests outside the package tree.
         self.module = _dotted_name(self.rel)
-        self._suppressions, raw = _parse_suppressions(self.text)
+        comments = _iter_comments(self.text)
+        directive = _module_directive(comments)
+        if directive is not None:
+            self.module = directive
+        self._suppressions, raw = _parse_suppressions(self.text, comments)
         #: suppression comments missing the mandatory justification,
         #: surfaced by the engine so they are fixed rather than trusted.
         self.inert_suppressions: List[Tuple[int, str]] = [
             (lineno, codes) for lineno, codes, reason in raw if not reason
         ]
+        self._facts = None
+
+    @property
+    def suppressions(self) -> Dict[int, Set[str]]:
+        """1-based line → codes effectively suppressed there."""
+        return self._suppressions
+
+    @property
+    def facts(self):
+        """This module's :class:`~repro.check.graph.ModuleFacts` (cached).
+
+        The import is deferred: :mod:`repro.check.graph` consumes the
+        helpers defined below, so a top-level import here would create
+        exactly the cycle RC109 exists to forbid.
+        """
+        if self._facts is None:
+            from .graph import extract_facts
+
+            self._facts = extract_facts(self)
+        return self._facts
 
     def is_suppressed(self, code: str, line: int) -> bool:
         """True when *code* is suppressed at 1-based *line*."""
@@ -78,6 +111,24 @@ class ProjectContext:
         self._classes: Optional[Dict[str, List[Tuple[ModuleSource, ast.ClassDef]]]]
         self._classes = None
         self._docs_text: Optional[str] = None
+        self._graph = None
+
+    def graph(self):
+        """The whole-program :class:`~repro.check.graph.ProjectGraph`.
+
+        Built lazily from every module's facts plus the reference
+        corpus, and cached — the RC109–RC112 family shares one graph
+        per run.
+        """
+        if self._graph is None:
+            from .graph import ProjectGraph
+
+            self._graph = ProjectGraph(
+                [module.facts for module in self.modules],
+                reference_corpus(self.root),
+                self.docs_text(),
+            )
+        return self._graph
 
     def class_defs(
         self, name: str
@@ -111,6 +162,32 @@ class ProjectContext:
         return None
 
 
+def reference_corpus(root: Path) -> str:
+    """Concatenated text of code and docs that *reference* the package.
+
+    Tests, benchmarks, and examples are not scanned as project code, but
+    a public name they exercise is not dead — RC112 greps this corpus
+    before declaring an export unreachable.  Empty when the directories
+    do not exist (fixture roots).
+    """
+    chunks: List[str] = []
+    for directory, pattern in (
+        ("tests", "*.py"),
+        ("benchmarks", "*.py"),
+        ("examples", "*.py"),
+        ("docs", "*.md"),
+    ):
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob(pattern)):
+            chunks.append(path.read_text(encoding="utf-8"))
+    readme = root / "README.md"
+    if readme.is_file():
+        chunks.append(readme.read_text(encoding="utf-8"))
+    return "\n".join(chunks)
+
+
 def _dotted_name(rel: str) -> str:
     """Dotted module path for files under ``src/`` (else empty)."""
     if not rel.startswith("src/") or not rel.endswith(".py"):
@@ -121,8 +198,20 @@ def _dotted_name(rel: str) -> str:
     return ".".join(parts)
 
 
+def _module_directive(
+    comments: List[Tuple[int, int, str]]
+) -> Optional[str]:
+    """The dotted name from a ``module=`` directive comment, if any."""
+    for _lineno, _column, comment in comments:
+        match = _MODULE_DIRECTIVE_RE.search(comment)
+        if match is not None:
+            return match.group("name")
+    return None
+
+
 def _parse_suppressions(
     text: str,
+    comments: List[Tuple[int, int, str]],
 ) -> Tuple[Dict[int, Set[str]], List[Tuple[int, str, str]]]:
     """Map 1-based line numbers to codes suppressed there.
 
@@ -136,7 +225,7 @@ def _parse_suppressions(
     """
     raw: List[Tuple[int, str, str]] = []
     covered: Dict[int, Set[str]] = {}
-    for lineno, column, comment in _iter_comments(text):
+    for lineno, column, comment in comments:
         match = _SUPPRESS_RE.search(comment)
         if match is None:
             continue

@@ -4,7 +4,17 @@ Mirrors :mod:`repro.diagnostics.engine`: the engine instantiates every
 registered rule (with optional severity overrides), feeds each parsed
 module through each rule, filters findings through the inline
 suppression map, and folds everything into a :class:`CheckReport` that
-renders as text or JSON and computes a gate exit code.
+renders as text, JSON, or SARIF and computes a gate exit code.
+
+Two execution paths share the rule set.  :meth:`CheckEngine.run` is the
+in-memory path (tests, single fixtures): parse everything, run
+everything.  :meth:`CheckEngine.analyze` is the production path: each
+file's module-scope findings and distilled facts are cached against its
+content hash (:mod:`repro.check.cache`), parse work for changed files
+can fan out over the sharded process pool, and project-scope rules
+(RC105, RC108–RC112) then run over the facts of *all* files — cached
+or fresh — so whole-program analysis stays whole even when only one
+file was re-read.
 
 Suppression comments that lack the mandatory ``--  justification`` are
 themselves reported (as synthetic ``RC100`` warnings) so an inert
@@ -16,10 +26,31 @@ from __future__ import annotations
 import fnmatch
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Type
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from ..diagnostics.model import Severity
-from .context import ModuleSource, ProjectContext
+from .cache import (
+    CACHE_VERSION,
+    file_sha,
+    finding_from_dict,
+    finding_to_dict,
+    load_entries,
+    save_entries,
+)
+from .context import (
+    ModuleSource,
+    ProjectContext,
+    reference_corpus,
+)
+from .graph import ModuleFacts, ProjectGraph
 from .model import CheckFinding, CheckRule, all_check_rules
 
 __all__ = ["CheckEngine", "CheckReport", "load_project"]
@@ -38,23 +69,33 @@ INERT_SUPPRESSION_CODE = "RC100"
 
 
 def _iter_python_files(root: Path, targets: Sequence[str]) -> List[Path]:
-    paths: List[tuple] = []
+    """Python files under *targets*, explicit files first.
+
+    An explicitly named file is never excluded — passing
+    ``tests/fixtures/check/rc104_bad.py`` means "analyze this file" —
+    while globbed directory walks skip the exclusion patterns.
+    Listing a file both ways (explicitly and via a directory that
+    globs it) yields it once, as explicit, regardless of argument
+    order.
+    """
+    explicit: List[Tuple[Path, bool]] = []
+    globbed: List[Tuple[Path, bool]] = []
     for target in targets:
         base = (root / target).resolve()
         if base.is_file() and base.suffix == ".py":
-            paths.append((base, True))  # explicit file: never excluded
+            explicit.append((base, True))
             continue
         if not base.is_dir():
             continue
-        paths.extend((path, False) for path in sorted(base.rglob("*.py")))
+        globbed.extend((path, False) for path in sorted(base.rglob("*.py")))
     unique: List[Path] = []
     seen = set()
-    for path, explicit in paths:
-        rel = path.as_posix()
+    for path, is_explicit in explicit + globbed:
         if path in seen:
             continue
-        if not explicit and any(
-            fnmatch.fnmatch(rel, pat) for pat in _EXCLUDED_PATTERNS
+        if not is_explicit and any(
+            fnmatch.fnmatch(path.as_posix(), pattern)
+            for pattern in _EXCLUDED_PATTERNS
         ):
             continue
         seen.add(path)
@@ -83,6 +124,8 @@ class CheckReport:
         rules_run: List[str],
         modules_checked: int,
         suppressed: int,
+        analyzed: Optional[int] = None,
+        reused: Optional[int] = None,
     ) -> None:
         self.findings = sorted(
             findings, key=lambda f: (f.path, f.line, f.column, f.code)
@@ -90,6 +133,11 @@ class CheckReport:
         self.rules_run = rules_run
         self.modules_checked = modules_checked
         self.suppressed = suppressed
+        #: Incremental-run accounting (None on the in-memory path).
+        #: Deliberately *not* part of ``to_json``/``render_text`` so a
+        #: warm run's report is byte-identical to a cold run's.
+        self.analyzed = analyzed
+        self.reused = reused
 
     def counts_by_severity(self) -> Dict[str, int]:
         """``{"error": n, ...}`` over the unsuppressed findings."""
@@ -140,6 +188,79 @@ class CheckReport:
         return "\n".join(lines)
 
 
+def _inert_finding(rel: str, lineno: int, codes: str) -> CheckFinding:
+    """The synthetic RC100 finding for one justification-less comment."""
+    return CheckFinding(
+        code=INERT_SUPPRESSION_CODE,
+        severity=Severity.WARNING,
+        path=rel,
+        line=lineno,
+        column=0,
+        message=(
+            f"suppression of [{codes}] has no justification; "
+            "add '-- <reason>' for it to take effect"
+        ),
+        remediation=(
+            "Every inline suppression must explain itself: "
+            "'# repro-check: ignore[RC###] -- reason'."
+        ),
+    )
+
+
+def _facts_suppressed(facts: ModuleFacts, code: str, line: int) -> bool:
+    """Suppression lookup against a (possibly cached) facts record."""
+    for lineno, codes in facts.suppressions:
+        if lineno == line and code in codes:
+            return True
+    return False
+
+
+def _analyze_one(
+    root: Path, rel: str, module_rules: Sequence[CheckRule]
+) -> Dict[str, object]:
+    """Parse one file, run the module-scope rules, distill the facts.
+
+    The returned entry is exactly what the cache stores — both cold and
+    warm runs consume findings through this serialized form, which is
+    what makes their reports byte-identical.
+    """
+    module = ModuleSource(root / rel, root)
+    project = ProjectContext(root, [module])
+    findings: List[CheckFinding] = []
+    suppressed = 0
+    for rule in module_rules:
+        for finding in rule.check(module, project):
+            if module.is_suppressed(finding.code, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return {
+        "facts": module.facts.to_dict(),
+        "findings": [finding_to_dict(finding) for finding in findings],
+        "suppressed": suppressed,
+    }
+
+
+def _analyze_shard(payload: object, shard) -> Dict[str, Dict[str, object]]:
+    """Module-level ``run_sharded`` runner: analyze one slice of files.
+
+    The payload is spawn-cheap plain data — ``(root, rels, codes,
+    severities)`` — and the worker rebuilds its rule instances from the
+    registry, so nothing heavier than strings crosses the process
+    boundary.
+    """
+    root_text, rels, codes, severities = payload  # type: ignore[misc]
+    overrides = {
+        code: Severity.parse(value) for code, value in severities
+    }
+    engine = CheckEngine(select=codes, severity_overrides=overrides)
+    root = Path(root_text)
+    return {
+        rel: _analyze_one(root, rel, engine.module_rules)
+        for rel in rels[shard.start : shard.stop]
+    }
+
+
 class CheckEngine:
     """Instantiate rules, run them over a project, gather findings."""
 
@@ -156,7 +277,32 @@ class CheckEngine:
         overrides = severity_overrides or {}
         self.rules = [cls(overrides.get(cls.code)) for cls in classes]
 
+    @property
+    def module_rules(self) -> List[CheckRule]:
+        """Rules whose findings depend on one file only (cacheable)."""
+        return [rule for rule in self.rules if rule.scope == "module"]
+
+    @property
+    def project_rules(self) -> List[CheckRule]:
+        """Rules that consume the whole-program facts and graph."""
+        return [rule for rule in self.rules if rule.scope == "project"]
+
+    def fingerprint(self) -> Dict[str, object]:
+        """What a cache entry is valid against: format + effective rules.
+
+        Any change to the rule set or to an effective severity (via
+        ``--select`` or ``--severity``) invalidates every entry —
+        cached findings embed both.
+        """
+        return {
+            "cache_version": CACHE_VERSION,
+            "rules": [
+                [rule.code, rule.severity.value] for rule in self.rules
+            ],
+        }
+
     def run(self, project: ProjectContext) -> CheckReport:
+        """In-memory path: run every rule over every parsed module."""
         findings: List[CheckFinding] = []
         suppressed = 0
         for module in project.modules:
@@ -167,26 +313,125 @@ class CheckEngine:
                     else:
                         findings.append(finding)
             for lineno, codes in module.inert_suppressions:
-                findings.append(
-                    CheckFinding(
-                        code=INERT_SUPPRESSION_CODE,
-                        severity=Severity.WARNING,
-                        path=module.rel,
-                        line=lineno,
-                        column=0,
-                        message=(
-                            f"suppression of [{codes}] has no justification; "
-                            "add '-- <reason>' for it to take effect"
-                        ),
-                        remediation=(
-                            "Every inline suppression must explain itself: "
-                            "'# repro-check: ignore[RC###] -- reason'."
-                        ),
-                    )
-                )
+                findings.append(_inert_finding(module.rel, lineno, codes))
         return CheckReport(
             findings=findings,
             rules_run=[rule.code for rule in self.rules],
             modules_checked=len(project.modules),
             suppressed=suppressed,
         )
+
+    def analyze(
+        self,
+        root: Path,
+        targets: Optional[Sequence[str]] = None,
+        cache_path: Optional[Path] = None,
+        jobs: int = 1,
+    ) -> CheckReport:
+        """Incremental path: hash, reuse, re-analyze, then whole-program.
+
+        Files whose sha256 matches a cache entry contribute their
+        stored facts and findings without being read again; the rest
+        are analyzed (in parallel when ``jobs > 1``, via the sharded
+        pool funnel).  Project-scope rules then run over every file's
+        facts, so a one-file edit still gets whole-program analysis.
+        """
+        root = root.resolve()
+        files = _iter_python_files(root, targets or DEFAULT_ROOTS)
+        rels = [path.relative_to(root).as_posix() for path in files]
+        shas = {rel: file_sha(root / rel) for rel in rels}
+        fingerprint = self.fingerprint()
+        cached = load_entries(cache_path, fingerprint)
+        entries: Dict[str, Dict[str, object]] = {}
+        misses: List[str] = []
+        for rel in rels:
+            entry = cached.get(rel)
+            if (
+                isinstance(entry, dict)
+                and entry.get("sha") == shas[rel]
+            ):
+                entries[rel] = entry
+            else:
+                misses.append(rel)
+        for rel, fresh in self._analyze_misses(root, misses, jobs).items():
+            fresh["sha"] = shas[rel]
+            entries[rel] = fresh
+        if cache_path is not None:
+            save_entries(cache_path, fingerprint, entries)
+
+        findings: List[CheckFinding] = []
+        suppressed = 0
+        facts_list: List[ModuleFacts] = []
+        for rel in rels:
+            entry = entries[rel]
+            facts = ModuleFacts.from_dict(entry["facts"])  # type: ignore[arg-type]
+            facts_list.append(facts)
+            findings.extend(
+                finding_from_dict(payload)
+                for payload in entry["findings"]  # type: ignore[union-attr]
+            )
+            suppressed += int(entry["suppressed"])  # type: ignore[arg-type]
+            for lineno, codes in facts.inert_suppressions:
+                findings.append(_inert_finding(facts.rel, lineno, codes))
+
+        graph = ProjectGraph(
+            facts_list, reference_corpus(root), _docs_text(root)
+        )
+        for rule in self.project_rules:
+            for facts in facts_list:
+                for finding in rule.check_facts(facts, graph):
+                    if _facts_suppressed(facts, finding.code, finding.line):
+                        suppressed += 1
+                    else:
+                        findings.append(finding)
+        return CheckReport(
+            findings=findings,
+            rules_run=[rule.code for rule in self.rules],
+            modules_checked=len(rels),
+            suppressed=suppressed,
+            analyzed=len(misses),
+            reused=len(rels) - len(misses),
+        )
+
+    def _analyze_misses(
+        self, root: Path, misses: Sequence[str], jobs: int
+    ) -> Dict[str, Dict[str, object]]:
+        """Analyze changed files, serially or over the sharded pool."""
+        if jobs > 1 and len(misses) > 1:
+            from ..core.sharding import run_sharded
+
+            payload = (
+                str(root),
+                tuple(misses),
+                tuple(rule.code for rule in self.rules),
+                tuple(
+                    (rule.code, rule.severity.value) for rule in self.rules
+                ),
+            )
+            shard_size = max(1, (len(misses) + jobs - 1) // jobs)
+            _shards, outputs = run_sharded(
+                payload,
+                _analyze_shard,
+                [len(misses)],
+                jobs,
+                shard_size,
+            )
+            merged: Dict[str, Dict[str, object]] = {}
+            for output in outputs:
+                merged.update(output)  # type: ignore[arg-type]
+            return merged
+        module_rules = self.module_rules
+        return {
+            rel: _analyze_one(root, rel, module_rules) for rel in misses
+        }
+
+
+def _docs_text(root: Path) -> str:
+    """Concatenated ``docs/*.md`` (RC108's documentation corpus)."""
+    docs_dir = root / "docs"
+    if not docs_dir.is_dir():
+        return ""
+    return "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(docs_dir.glob("*.md"))
+    )

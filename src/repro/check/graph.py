@@ -1,0 +1,1175 @@
+"""Whole-program facts, import graph, and conservative call graph.
+
+PR 5's rules see one file at a time, so a blocking call or snapshot
+mutation hidden one helper-function away is invisible.  This module is
+the whole-program layer underneath the RC109–RC112 rule family: every
+parsed module is distilled into a :class:`ModuleFacts` record — imports,
+function/call summaries, blocking sites, mutated parameters, exported
+names — and :class:`ProjectGraph` folds those records into a
+project-wide import graph plus a *conservative* call graph (an edge
+exists only when the callee resolves unambiguously; unresolvable calls
+are dropped, never guessed).
+
+Facts are plain data and round-trip through JSON: the incremental cache
+(:mod:`repro.check.cache`) stores them per file, so a warm ``repro
+check`` run rebuilds the graph from cached facts without re-parsing
+unchanged files — whole-program rules keep seeing the whole program
+while only changed files pay the parse cost.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import asdict, dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .context import infer_local_types, iter_scopes, walk_scope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .context import ModuleSource
+
+__all__ = [
+    "FROZEN_CLASSES",
+    "BlockingSite",
+    "CallFact",
+    "ClassFact",
+    "ExportFact",
+    "FrozenArgFact",
+    "FunctionFact",
+    "ImportFact",
+    "ModuleFacts",
+    "ProjectGraph",
+    "blocking_call_label",
+    "extract_facts",
+    "resolve_import_source",
+]
+
+#: Frozen snapshot classes → the one module allowed to touch their
+#: attributes (their defining module, i.e. ``__init__`` and friends).
+#: Shared by RC102 (direct mutation) and RC111 (mutation through helper
+#: aliases).
+FROZEN_CLASSES: Dict[str, str] = {
+    "AnalysisContext": "repro.core.context",
+    "RibSnapshot": "repro.core.context",
+    "RoaSnapshot": "repro.core.context",
+    "LeaseIndex": "repro.serve.index",
+}
+
+#: Call patterns that block the event loop: plain built-ins, and
+#: ``module.function`` attribute calls keyed by the receiver name.
+#: Any attribute call on a name ``subprocess``/``socket`` is flagged.
+#: Shared by RC104 (direct calls in async bodies) and RC110 (calls
+#: reachable from async bodies through sync helpers).
+BLOCKING_NAME_CALLS = frozenset({"open", "input"})
+BLOCKING_ATTR_CALLS = frozenset(
+    {
+        ("time", "sleep"),
+        ("os", "system"),
+        ("socket", "create_connection"),
+        ("subprocess", "run"),
+        ("subprocess", "call"),
+        ("subprocess", "check_call"),
+        ("subprocess", "check_output"),
+        ("subprocess", "Popen"),
+    }
+)
+BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Decorator names that register a rule class; a rule subclass carrying
+#: one of these is reachable through its registry even when no code
+#: names it explicitly.
+_REGISTER_DECORATORS = frozenset({"register_check_rule", "register_rule"})
+
+#: Base-class names marking a class as a pluggable rule implementation.
+_RULE_BASES = frozenset({"CheckRule", "DiagnosticRule"})
+
+#: Qualname of the synthetic function holding module-level statements.
+MODULE_QUALNAME = "<module>"
+
+
+def blocking_call_label(node: ast.Call) -> Optional[str]:
+    """A display label when *node* is a blocking call, else None.
+
+    The label matches the spelling RC104 has always reported:
+    ``open()``, ``time.sleep()``, ``.read_text()``.
+    """
+    target = node.func
+    if isinstance(target, ast.Name) and target.id in BLOCKING_NAME_CALLS:
+        return f"{target.id}()"
+    if isinstance(target, ast.Attribute):
+        receiver = target.value
+        if isinstance(receiver, ast.Name):
+            pair = (receiver.id, target.attr)
+            if pair in BLOCKING_ATTR_CALLS or receiver.id in (
+                "subprocess",
+                "socket",
+            ):
+                return f"{receiver.id}.{target.attr}()"
+        if target.attr in BLOCKING_METHODS:
+            return f".{target.attr}()"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Facts records
+
+
+@dataclass(frozen=True)
+class ImportFact:
+    """One import statement, resolved to an absolute dotted source."""
+
+    source: str
+    lineno: int
+    col: int
+    top_level: bool
+    type_checking: bool
+    is_from: bool
+    names: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site: receiver name (if any), attribute/function name,
+    and which arguments are bare local names."""
+
+    base: Optional[str]
+    name: str
+    lineno: int
+    col: int
+    args: Tuple[Optional[str], ...] = ()
+    keywords: Tuple[Tuple[str, Optional[str]], ...] = ()
+
+
+@dataclass(frozen=True)
+class BlockingSite:
+    """One blocking call inside a function body."""
+
+    label: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FrozenArgFact:
+    """A frozen-snapshot instance passed as an argument at a call site.
+
+    ``position`` is an int for positional arguments and the keyword name
+    for keyword arguments.
+    """
+
+    base: Optional[str]
+    name: str
+    position: object
+    cls: str
+    var: str
+    lineno: int
+    col: int
+
+
+@dataclass(frozen=True)
+class FunctionFact:
+    """One function scope: identity, parameters, and call summary."""
+
+    qualname: str
+    owner_class: Optional[str]
+    is_async: bool
+    lineno: int
+    col: int
+    params: Tuple[str, ...] = ()
+    calls: Tuple[CallFact, ...] = ()
+    blocking: Tuple[BlockingSite, ...] = ()
+    mutated_params: Tuple[str, ...] = ()
+    frozen_args: Tuple[FrozenArgFact, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClassFact:
+    """One class definition: bases, registration, spawn safety."""
+
+    name: str
+    lineno: int
+    col: int
+    bases: Tuple[str, ...] = ()
+    registered: bool = False
+    spawn_safe: bool = False
+
+
+@dataclass(frozen=True)
+class ExportFact:
+    """One ``__all__`` entry; ``local`` when the module defines it."""
+
+    name: str
+    lineno: int
+    col: int
+    local: bool
+
+
+@dataclass(frozen=True)
+class ModuleFacts:
+    """Everything the whole-program rules need from one module."""
+
+    rel: str
+    module: str
+    imports: Tuple[ImportFact, ...] = ()
+    functions: Tuple[FunctionFact, ...] = ()
+    classes: Tuple[ClassFact, ...] = ()
+    exports: Tuple[ExportFact, ...] = ()
+    payload_refs: Tuple[Tuple[str, int, int], ...] = ()
+    cli_flags: Tuple[Tuple[str, int, int], ...] = ()
+    identifiers: Tuple[str, ...] = ()
+    import_aliases: Tuple[Tuple[str, str], ...] = ()
+    symbol_aliases: Tuple[Tuple[str, str, str], ...] = ()
+    suppressions: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
+    inert_suppressions: Tuple[Tuple[int, str], ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the incremental cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModuleFacts":
+        """Rebuild a facts record from :meth:`to_dict` output."""
+
+        def _t(seq: object) -> tuple:
+            if isinstance(seq, (list, tuple)):
+                return tuple(_t(item) for item in seq)
+            return seq  # type: ignore[return-value]
+
+        return cls(
+            rel=str(payload["rel"]),
+            module=str(payload["module"]),
+            imports=tuple(
+                ImportFact(**{**d, "names": tuple(d["names"])})
+                for d in payload.get("imports", ())
+            ),
+            functions=tuple(
+                FunctionFact(
+                    qualname=d["qualname"],
+                    owner_class=d["owner_class"],
+                    is_async=d["is_async"],
+                    lineno=d["lineno"],
+                    col=d["col"],
+                    params=tuple(d["params"]),
+                    calls=tuple(
+                        CallFact(
+                            base=c["base"],
+                            name=c["name"],
+                            lineno=c["lineno"],
+                            col=c["col"],
+                            args=tuple(c["args"]),
+                            keywords=_t(c["keywords"]),
+                        )
+                        for c in d["calls"]
+                    ),
+                    blocking=tuple(
+                        BlockingSite(**b) for b in d["blocking"]
+                    ),
+                    mutated_params=tuple(d["mutated_params"]),
+                    frozen_args=tuple(
+                        FrozenArgFact(**f) for f in d["frozen_args"]
+                    ),
+                )
+                for d in payload.get("functions", ())
+            ),
+            classes=tuple(
+                ClassFact(**{**d, "bases": tuple(d["bases"])})
+                for d in payload.get("classes", ())
+            ),
+            exports=tuple(
+                ExportFact(**d) for d in payload.get("exports", ())
+            ),
+            payload_refs=_t(payload.get("payload_refs", ())),
+            cli_flags=_t(payload.get("cli_flags", ())),
+            identifiers=tuple(payload.get("identifiers", ())),
+            import_aliases=_t(payload.get("import_aliases", ())),
+            symbol_aliases=_t(payload.get("symbol_aliases", ())),
+            suppressions=_t(payload.get("suppressions", ())),
+            inert_suppressions=_t(payload.get("inert_suppressions", ())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Import resolution
+
+
+def resolve_import_source(
+    module: str, is_package: bool, level: int, target: Optional[str]
+) -> Optional[str]:
+    """Absolute dotted source of a (possibly relative) import.
+
+    *module* is the importing module's dotted name (``""`` outside the
+    package tree) and *is_package* whether it is a package
+    ``__init__``.  Returns None when a relative import cannot be
+    resolved (fixture snippets, scripts).
+    """
+    if level == 0:
+        return target
+    if not module:
+        return None
+    package = module if is_package else module.rsplit(".", 1)[0]
+    parts = package.split(".")
+    if level - 1 > len(parts):
+        return None
+    base = parts[: len(parts) - (level - 1)] if level > 1 else parts
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+# ---------------------------------------------------------------------------
+# Facts extraction
+
+
+def extract_facts(module: "ModuleSource") -> ModuleFacts:
+    """Distill one parsed module into its :class:`ModuleFacts`."""
+    extractor = _FactsExtractor(module)
+    return extractor.run()
+
+
+class _FactsExtractor:
+    """Single-pass collector over one module's AST."""
+
+    def __init__(self, module: "ModuleSource") -> None:
+        self.module = module
+        self.is_package = module.rel.endswith("__init__.py")
+        self.imports: List[ImportFact] = []
+        self.functions: List[FunctionFact] = []
+        self.classes: List[ClassFact] = []
+        self.import_aliases: Dict[str, str] = {}
+        self.symbol_aliases: Dict[str, Tuple[str, str]] = {}
+
+    def run(self) -> ModuleFacts:
+        tree = self.module.tree
+        self._collect_imports(tree.body, top_level=True, type_checking=False)
+        self._collect_scopes(tree.body, prefix="", owner=None)
+        self.functions.append(self._function_fact(tree, MODULE_QUALNAME, None))
+        return ModuleFacts(
+            rel=self.module.rel,
+            module=self.module.module,
+            imports=tuple(self.imports),
+            functions=tuple(self.functions),
+            classes=tuple(self.classes),
+            exports=tuple(self._exports(tree)),
+            payload_refs=tuple(self._payload_refs(tree)),
+            cli_flags=tuple(self._cli_flags(tree)),
+            identifiers=tuple(sorted(self._identifiers(tree))),
+            import_aliases=tuple(sorted(self.import_aliases.items())),
+            symbol_aliases=tuple(
+                (local, mod, sym)
+                for local, (mod, sym) in sorted(self.symbol_aliases.items())
+            ),
+            suppressions=tuple(
+                (line, tuple(sorted(codes)))
+                for line, codes in sorted(self.module.suppressions.items())
+            ),
+            inert_suppressions=tuple(self.module.inert_suppressions),
+        )
+
+    # -- imports ----------------------------------------------------------
+
+    def _collect_imports(
+        self, body: Sequence[ast.stmt], top_level: bool, type_checking: bool
+    ) -> None:
+        for node in body:
+            if isinstance(node, ast.If):
+                tc = type_checking or _is_type_checking_test(node.test)
+                self._collect_imports(node.body, top_level, tc)
+                self._collect_imports(node.orelse, top_level, type_checking)
+            elif isinstance(node, ast.Try):
+                self._collect_imports(node.body, top_level, type_checking)
+                for handler in node.handlers:
+                    self._collect_imports(
+                        handler.body, top_level, type_checking
+                    )
+                self._collect_imports(node.orelse, top_level, type_checking)
+                self._collect_imports(
+                    node.finalbody, top_level, type_checking
+                )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                self._collect_imports(node.body, top_level, type_checking)
+            elif isinstance(node, ast.ClassDef):
+                self._collect_imports(node.body, top_level, type_checking)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._collect_imports(node.body, False, type_checking)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports.append(
+                        ImportFact(
+                            source=alias.name,
+                            lineno=node.lineno,
+                            col=node.col_offset,
+                            top_level=top_level,
+                            type_checking=type_checking,
+                            is_from=False,
+                        )
+                    )
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname:
+                        self.import_aliases[local] = alias.name
+                    elif "." not in alias.name:
+                        self.import_aliases[local] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                source = resolve_import_source(
+                    self.module.module,
+                    self.is_package,
+                    node.level,
+                    node.module,
+                )
+                if source is None:
+                    continue
+                self.imports.append(
+                    ImportFact(
+                        source=source,
+                        lineno=node.lineno,
+                        col=node.col_offset,
+                        top_level=top_level,
+                        type_checking=type_checking,
+                        is_from=True,
+                        names=tuple(alias.name for alias in node.names),
+                    )
+                )
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.symbol_aliases[local] = (source, alias.name)
+
+    # -- functions and classes -------------------------------------------
+
+    def _collect_scopes(
+        self,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        owner: Optional[str],
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{node.name}"
+                self.functions.append(
+                    self._function_fact(node, qualname, owner)
+                )
+                self._collect_scopes(
+                    node.body, prefix=f"{qualname}.", owner=owner
+                )
+            elif isinstance(node, ast.ClassDef):
+                self.classes.append(self._class_fact(node))
+                self._collect_scopes(
+                    node.body,
+                    prefix=f"{prefix}{node.name}.",
+                    owner=f"{prefix}{node.name}",
+                )
+            elif hasattr(node, "body") and isinstance(
+                getattr(node, "body", None), list
+            ):
+                self._collect_scopes(node.body, prefix, owner)  # type: ignore[arg-type]
+                for sub in getattr(node, "orelse", []):
+                    self._collect_scopes([sub], prefix, owner)
+                for sub in getattr(node, "finalbody", []):
+                    self._collect_scopes([sub], prefix, owner)
+                for handler in getattr(node, "handlers", []):
+                    self._collect_scopes(handler.body, prefix, owner)
+
+    def _function_fact(
+        self, scope: ast.AST, qualname: str, owner: Optional[str]
+    ) -> FunctionFact:
+        params: Tuple[str, ...] = ()
+        is_async = isinstance(scope, ast.AsyncFunctionDef)
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = scope.args
+            names = list(getattr(args, "posonlyargs", []))
+            names += list(args.args)
+            if args.vararg is not None:
+                names.append(args.vararg)
+            names += list(args.kwonlyargs)
+            if args.kwarg is not None:
+                names.append(args.kwarg)
+            params = tuple(arg.arg for arg in names)
+        calls: List[CallFact] = []
+        blocking: List[BlockingSite] = []
+        for node in walk_scope(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            calls.append(_call_fact(node))
+            label = blocking_call_label(node)
+            if label is not None:
+                blocking.append(
+                    BlockingSite(label, node.lineno, node.col_offset)
+                )
+        types = infer_local_types(scope, FROZEN_CLASSES)
+        frozen_args: List[FrozenArgFact] = []
+        if types:
+            for node in walk_scope(scope):
+                if isinstance(node, ast.Call):
+                    frozen_args.extend(_frozen_args(node, types))
+        return FunctionFact(
+            qualname=qualname,
+            owner_class=owner,
+            is_async=is_async,
+            lineno=getattr(scope, "lineno", 1),
+            col=getattr(scope, "col_offset", 0),
+            params=params,
+            calls=tuple(calls),
+            blocking=tuple(blocking),
+            mutated_params=tuple(sorted(_mutated_params(scope, params))),
+            frozen_args=tuple(frozen_args),
+        )
+
+    def _class_fact(self, node: ast.ClassDef) -> ClassFact:
+        bases = []
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                bases.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                bases.append(base.attr)
+        registered = any(
+            (isinstance(dec, ast.Name) and dec.id in _REGISTER_DECORATORS)
+            or (
+                isinstance(dec, ast.Attribute)
+                and dec.attr in _REGISTER_DECORATORS
+            )
+            or (
+                isinstance(dec, ast.Call)
+                and isinstance(dec.func, (ast.Name, ast.Attribute))
+                and (
+                    getattr(dec.func, "id", None) in _REGISTER_DECORATORS
+                    or getattr(dec.func, "attr", None)
+                    in _REGISTER_DECORATORS
+                )
+            )
+            for dec in node.decorator_list
+        )
+        return ClassFact(
+            name=node.name,
+            lineno=node.lineno,
+            col=node.col_offset,
+            bases=tuple(bases),
+            registered=registered,
+            spawn_safe=_is_spawn_safe(node),
+        )
+
+    # -- module-level scans ----------------------------------------------
+
+    def _exports(self, tree: ast.Module) -> Iterator[ExportFact]:
+        local_defs = _top_level_names(tree)
+        for node in tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                continue
+            if not isinstance(node.value, (ast.List, ast.Tuple)):
+                continue
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    yield ExportFact(
+                        name=element.value,
+                        lineno=element.lineno,
+                        col=element.col_offset,
+                        local=element.value in local_defs,
+                    )
+
+    def _payload_refs(
+        self, tree: ast.Module
+    ) -> Iterator[Tuple[str, int, int]]:
+        for scope in iter_scopes(tree):
+            types: Optional[Dict[str, str]] = None
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not _is_run_sharded(node.func) or not node.args:
+                    continue
+                if types is None:
+                    types = infer_local_types(scope, _EVERYTHING)
+                payload = _resolve_payload(scope, node.args[0])
+                for cls_name, at in _payload_classes(payload, types):
+                    yield (
+                        cls_name,
+                        getattr(at, "lineno", node.lineno),
+                        getattr(at, "col_offset", node.col_offset),
+                    )
+
+    def _cli_flags(self, tree: ast.Module) -> Iterator[Tuple[str, int, int]]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    yield (arg.value, arg.lineno, arg.col_offset)
+
+    def _identifiers(self, tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add(alias.name.split(".")[-1])
+        return names
+
+
+class _Everything:
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, str)
+
+
+_EVERYTHING = _Everything()
+
+
+def _call_fact(node: ast.Call) -> CallFact:
+    func = node.func
+    base: Optional[str] = None
+    name = ""
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+        if isinstance(func.value, ast.Name):
+            base = func.value.id
+    args = tuple(
+        arg.id if isinstance(arg, ast.Name) else None for arg in node.args
+    )
+    keywords = tuple(
+        (kw.arg, kw.value.id if isinstance(kw.value, ast.Name) else None)
+        for kw in node.keywords
+        if kw.arg is not None
+    )
+    return CallFact(
+        base=base,
+        name=name,
+        lineno=node.lineno,
+        col=node.col_offset,
+        args=args,
+        keywords=keywords,
+    )
+
+
+def _frozen_args(
+    node: ast.Call, types: Dict[str, str]
+) -> Iterator[FrozenArgFact]:
+    fact = _call_fact(node)
+    if not fact.name:
+        return
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, ast.Name) and arg.id in types:
+            yield FrozenArgFact(
+                base=fact.base,
+                name=fact.name,
+                position=position,
+                cls=types[arg.id],
+                var=arg.id,
+                lineno=node.lineno,
+                col=node.col_offset,
+            )
+    for kw in node.keywords:
+        if (
+            kw.arg is not None
+            and isinstance(kw.value, ast.Name)
+            and kw.value.id in types
+        ):
+            yield FrozenArgFact(
+                base=fact.base,
+                name=fact.name,
+                position=kw.arg,
+                cls=types[kw.value.id],
+                var=kw.value.id,
+                lineno=node.lineno,
+                col=node.col_offset,
+            )
+
+
+def _mutated_params(scope: ast.AST, params: Tuple[str, ...]) -> Set[str]:
+    """Parameters whose attributes the function assigns or deletes.
+
+    ``self``/``cls`` are excluded: a method mutating its own instance
+    is ordinary object construction (RC102 judges whether the instance
+    was frozen), not a parameter the caller's arguments flow into.
+    """
+    mutated: Set[str] = set()
+    if not params:
+        return mutated
+    param_set = set(params) - {"self", "cls"}
+    if not param_set:
+        return mutated
+    for node in walk_scope(scope):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            inner = target
+            if isinstance(inner, ast.Subscript):
+                inner = inner.value
+            if isinstance(inner, ast.Attribute) and isinstance(
+                inner.value, ast.Name
+            ):
+                if inner.value.id in param_set:
+                    mutated.add(inner.value.id)
+    return mutated
+
+
+def _top_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names.add(node.target.id)
+    return names
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _is_run_sharded(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "run_sharded"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "run_sharded"
+    return False
+
+
+def _resolve_payload(scope: ast.AST, payload: ast.expr) -> ast.expr:
+    """Chase ``payload = (...)`` bindings so wrapped tuples are seen."""
+    if not isinstance(payload, ast.Name):
+        return payload
+    for node in walk_scope(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == payload.id
+                    and isinstance(node.value, (ast.Tuple, ast.List))
+                ):
+                    return node.value
+    return payload
+
+
+def _payload_classes(payload: ast.expr, types: Dict[str, str]):
+    """Yield ``(class_name, node)`` for classes visible in *payload*."""
+    for node in ast.walk(payload):
+        if isinstance(node, ast.Name) and node.id in types:
+            yield types[node.id], node
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id[:1].isupper():
+                yield func.id, node
+
+
+def _is_spawn_safe(class_def: ast.ClassDef) -> bool:
+    """True when the class declares its pickled form explicitly."""
+    for stmt in class_def.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name in ("__getstate__", "__reduce__"):
+                return True
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if (
+                isinstance(stmt.target, ast.Name)
+                and stmt.target.id == "__slots__"
+            ):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Project graph
+
+
+class ProjectGraph:
+    """Import graph + conservative call graph over a set of facts.
+
+    Built once per run (from live or cached facts) and consumed by the
+    RC109–RC112 rule family.  All resolution is *conservative*: an edge
+    exists only when the target is unambiguous, so reachability-based
+    rules under-report rather than guess.
+    """
+
+    def __init__(
+        self,
+        facts: Sequence[ModuleFacts],
+        reference_text: str = "",
+        docs_text: str = "",
+    ) -> None:
+        self.facts = {f.rel: f for f in facts}
+        self.by_dotted = {f.module: f for f in facts if f.module}
+        self.reference_text = reference_text
+        self.docs_text = docs_text
+        self._functions: Dict[str, Dict[str, FunctionFact]] = {}
+        self._classes: Dict[str, List[Tuple[str, ClassFact]]] = {}
+        for f in facts:
+            self._functions[f.rel] = {
+                fn.qualname: fn for fn in f.functions
+            }
+            for cls in f.classes:
+                self._classes.setdefault(cls.name, []).append((f.rel, cls))
+        self._mutating: Optional[Dict[Tuple[str, str], Set[str]]] = None
+        self._cycles: Optional[List[List[str]]] = None
+
+    def classes_named(self, name: str) -> List[Tuple[str, ClassFact]]:
+        """Every ``(rel, ClassFact)`` defining class *name* project-wide."""
+        return self._classes.get(name, [])
+
+    # -- import graph -----------------------------------------------------
+
+    def import_targets(self, fact: ImportFact) -> List[str]:
+        """Project modules *fact* depends on (dotted names).
+
+        ``from pkg import submodule`` depends on the submodule, not on
+        the package ``__init__`` — unless a name is a genuine attribute
+        of the package, in which case the package itself is a target.
+        """
+        targets: List[str] = []
+        if not fact.is_from:
+            if fact.source in self.by_dotted:
+                targets.append(fact.source)
+            return targets
+        non_module_names = False
+        for name in fact.names:
+            dotted = f"{fact.source}.{name}"
+            if dotted in self.by_dotted:
+                targets.append(dotted)
+            else:
+                non_module_names = True
+        if non_module_names and fact.source in self.by_dotted:
+            targets.append(fact.source)
+        return targets
+
+    def import_cycles(self) -> List[List[str]]:
+        """Cycles in the import-time graph (top-level, non-TYPE_CHECKING).
+
+        Function-level (deferred) imports are the sanctioned
+        cycle-breaker and are excluded; ``if TYPE_CHECKING:`` imports
+        never execute.  Each cycle is a sorted list of dotted names.
+        """
+        if self._cycles is not None:
+            return self._cycles
+        graph: Dict[str, List[str]] = {}
+        for fact in self.facts.values():
+            if not fact.module:
+                continue
+            outs: Set[str] = set()
+            for imp in fact.imports:
+                if not imp.top_level or imp.type_checking:
+                    continue
+                for target in self.import_targets(imp):
+                    if target != fact.module:
+                        outs.add(target)
+            graph[fact.module] = sorted(outs)
+        self._cycles = sorted(_strongly_connected(graph))
+        return self._cycles
+
+    # -- call graph -------------------------------------------------------
+
+    def function(self, rel: str, qualname: str) -> Optional[FunctionFact]:
+        return self._functions.get(rel, {}).get(qualname)
+
+    def resolve_call(
+        self, rel: str, owner_class: Optional[str], base: Optional[str],
+        name: str,
+    ) -> Optional[Tuple[str, str]]:
+        """``(rel, qualname)`` of the called project function, or None."""
+        fact = self.facts.get(rel)
+        if fact is None or not name:
+            return None
+        functions = self._functions.get(rel, {})
+        if base is None:
+            if name in functions:
+                return (rel, name)
+            return self._resolve_symbol(fact, name)
+        if base in ("self", "cls") and owner_class:
+            qualname = f"{owner_class}.{name}"
+            if qualname in functions:
+                return (rel, qualname)
+            return None
+        qualname = f"{base}.{name}"
+        if qualname in functions:  # ClassName.method within this module
+            return (rel, qualname)
+        for local, dotted in fact.import_aliases:
+            if local == base and dotted in self.by_dotted:
+                other = self.by_dotted[dotted]
+                if name in self._functions.get(other.rel, {}):
+                    return (other.rel, name)
+                return None
+        for local, dotted, symbol in fact.symbol_aliases:
+            if local != base:
+                continue
+            submodule = f"{dotted}.{symbol}"
+            if submodule in self.by_dotted:
+                other = self.by_dotted[submodule]
+                if name in self._functions.get(other.rel, {}):
+                    return (other.rel, name)
+            return None
+        return None
+
+    def _resolve_symbol(
+        self, fact: ModuleFacts, name: str
+    ) -> Optional[Tuple[str, str]]:
+        for local, dotted, symbol in fact.symbol_aliases:
+            if local != name:
+                continue
+            if dotted in self.by_dotted:
+                other = self.by_dotted[dotted]
+                if symbol in self._functions.get(other.rel, {}):
+                    return (other.rel, symbol)
+            return None
+        return None
+
+    def blocking_reachable(
+        self, rel: str, root: FunctionFact
+    ) -> List[Tuple[CallFact, Tuple[str, str], BlockingSite, Tuple[str, ...]]]:
+        """Blocking sites reachable from *root* through sync helpers.
+
+        Returns ``(first_call, (callee_rel, callee_qualname), site,
+        path)`` tuples — one per reachable *function* that blocks, with
+        the path of qualnames from the root to it.  Direct blocking in
+        the root body itself is RC104's finding and is excluded here.
+        """
+        results: List[
+            Tuple[CallFact, Tuple[str, str], BlockingSite, Tuple[str, ...]]
+        ] = []
+        seen: Set[Tuple[str, str]] = set()
+        queue: List[
+            Tuple[Tuple[str, str], CallFact, Tuple[str, ...]]
+        ] = []
+        for call in root.calls:
+            callee = self.resolve_call(
+                rel, root.owner_class, call.base, call.name
+            )
+            if callee is not None and callee != (rel, root.qualname):
+                queue.append((callee, call, (root.qualname,)))
+        while queue:
+            (callee_rel, callee_qual), first_call, path = queue.pop(0)
+            if (callee_rel, callee_qual) in seen:
+                continue
+            seen.add((callee_rel, callee_qual))
+            fn = self.function(callee_rel, callee_qual)
+            if fn is None or fn.is_async:
+                continue  # async callees report their own reachability
+            here = path + (callee_qual,)
+            for site in fn.blocking:
+                results.append(
+                    (first_call, (callee_rel, callee_qual), site, here)
+                )
+            for call in fn.calls:
+                nxt = self.resolve_call(
+                    callee_rel, fn.owner_class, call.base, call.name
+                )
+                if nxt is not None and nxt not in seen:
+                    queue.append((nxt, first_call, here))
+        results.sort(
+            key=lambda item: (item[0].lineno, item[0].col, item[1], item[2].lineno)
+        )
+        return results
+
+    # -- transitive parameter mutation ------------------------------------
+
+    def mutating_params(self) -> Dict[Tuple[str, str], Set[str]]:
+        """``(rel, qualname) -> params`` mutated directly or transitively.
+
+        A parameter is *mutating* when the function assigns/deletes an
+        attribute through it, or passes it into another function's
+        mutating parameter — computed to a fixpoint over the call graph.
+        """
+        if self._mutating is not None:
+            return self._mutating
+        mutating: Dict[Tuple[str, str], Set[str]] = {}
+        for rel, functions in self._functions.items():
+            for qualname, fn in functions.items():
+                if fn.mutated_params:
+                    mutating[(rel, qualname)] = set(fn.mutated_params)
+        changed = True
+        while changed:
+            changed = False
+            for rel, functions in sorted(self._functions.items()):
+                for qualname, fn in sorted(functions.items()):
+                    params = set(fn.params)
+                    if not params:
+                        continue
+                    current = mutating.get((rel, qualname), set())
+                    for call in fn.calls:
+                        callee = self.resolve_call(
+                            rel, fn.owner_class, call.base, call.name
+                        )
+                        if callee is None or callee == (rel, qualname):
+                            continue
+                        callee_mut = mutating.get(callee)
+                        if not callee_mut:
+                            continue
+                        callee_fn = self.function(*callee)
+                        if callee_fn is None:
+                            continue
+                        offset = 1 if call.base in ("self", "cls") else 0
+                        for position, arg in enumerate(call.args):
+                            if arg is None or arg not in params:
+                                continue
+                            index = position + offset
+                            if index < len(callee_fn.params) and (
+                                callee_fn.params[index] in callee_mut
+                            ):
+                                if arg not in current:
+                                    current.add(arg)
+                                    changed = True
+                        for kw, arg in call.keywords:
+                            if arg is None or arg not in params:
+                                continue
+                            if kw in callee_mut:
+                                if arg not in current:
+                                    current.add(arg)
+                                    changed = True
+                    if current:
+                        mutating[(rel, qualname)] = current
+        self._mutating = mutating
+        return mutating
+
+    def param_name(
+        self, callee: Tuple[str, str], position: object, offset: int = 0
+    ) -> Optional[str]:
+        """The callee's parameter bound at *position* (int or keyword).
+
+        *offset* is 1 for calls through an instance receiver
+        (``self.method(arg)``), where the implicit ``self`` shifts every
+        positional argument right by one.
+        """
+        fn = self.function(*callee)
+        if fn is None:
+            return None
+        if isinstance(position, int):
+            index = position + offset
+            if 0 <= index < len(fn.params):
+                return fn.params[index]
+            return None
+        return position if position in fn.params else None
+
+    # -- symbol usage -----------------------------------------------------
+
+    def name_used_outside(self, rel: str, name: str) -> bool:
+        """True when *name* is referenced outside the defining module.
+
+        Checks every other scanned module's identifier set, then the
+        reference corpus (tests, benchmarks, examples, docs) as raw
+        text — conservatively: any appearance counts as a use.
+        """
+        for other_rel, fact in self.facts.items():
+            if other_rel == rel:
+                continue
+            if name in fact.identifiers:
+                return True
+        if not self.reference_text:
+            return False
+        return _word_in(name, self.reference_text)
+
+
+def _word_in(name: str, text: str) -> bool:
+    start = 0
+    while True:
+        index = text.find(name, start)
+        if index < 0:
+            return False
+        before = text[index - 1] if index > 0 else " "
+        after_index = index + len(name)
+        after = text[after_index] if after_index < len(text) else " "
+        if not (before.isalnum() or before == "_") and not (
+            after.isalnum() or after == "_"
+        ):
+            return True
+        start = index + 1
+
+
+def _strongly_connected(graph: Dict[str, List[str]]) -> List[List[str]]:
+    """Tarjan SCCs of size > 1 (iterative; sorted for determinism)."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    components: List[List[str]] = []
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: List[Tuple[str, int]] = [(start, 0)]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = graph.get(node, [])
+            advanced = False
+            while child_index < len(children):
+                child = children[child_index]
+                child_index += 1
+                if child not in graph:
+                    continue
+                if child not in index:
+                    work[-1] = (node, child_index)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components

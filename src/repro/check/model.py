@@ -19,6 +19,7 @@ from ..diagnostics.model import Severity, split_docstring
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .context import ModuleSource, ProjectContext
+    from .graph import ModuleFacts, ProjectGraph
 
 __all__ = [
     "CheckFinding",
@@ -89,11 +90,21 @@ class CheckRule:
     definitions or documentation files).  The docstring documents the
     rule exactly as in the diagnostics engine: rationale first, then an
     optional ``Remediation:`` paragraph.
+
+    ``scope`` decides how the incremental engine treats the rule.  A
+    ``"module"`` rule sees one file at a time and its findings are
+    cached per file (re-run only when that file's content hash
+    changes).  A ``"project"`` rule implements :meth:`check_facts`
+    against the distilled :class:`~repro.check.graph.ModuleFacts` and
+    the :class:`~repro.check.graph.ProjectGraph` instead of the raw
+    AST, so it runs on every invocation — over cached facts for
+    unchanged files — and still sees the whole program.
     """
 
     code: str = ""
     title: str = ""
     default_severity: Severity = Severity.ERROR
+    scope: str = "module"
 
     def __init__(self, severity: Optional[Severity] = None) -> None:
         self.severity = severity or self.default_severity
@@ -103,7 +114,21 @@ class CheckRule:
         module: "ModuleSource",
         project: "ProjectContext",
     ) -> Iterator[CheckFinding]:
-        """Yield findings for *module* (empty iterator when clean)."""
+        """Yield findings for *module* (empty iterator when clean).
+
+        Project-scope rules route through :meth:`check_facts` so the
+        in-memory and incremental engines report identically.
+        """
+        if self.scope == "project":
+            return self.check_facts(module.facts, project.graph())
+        raise NotImplementedError
+
+    def check_facts(
+        self,
+        facts: "ModuleFacts",
+        graph: "ProjectGraph",
+    ) -> Iterator[CheckFinding]:
+        """Yield findings for one module's facts (project-scope rules)."""
         raise NotImplementedError
 
     def finding(
@@ -128,6 +153,26 @@ class CheckRule:
             code=self.code,
             severity=self.severity,
             path=module.rel,
+            line=line,
+            column=column,
+            message=message,
+            remediation=self.remediation(),
+            fix=fix,
+        )
+
+    def finding_at(
+        self,
+        rel: str,
+        line: int,
+        column: int,
+        message: str,
+        fix: Optional[Fix] = None,
+    ) -> CheckFinding:
+        """Build one finding from a bare position (facts-based rules)."""
+        return CheckFinding(
+            code=self.code,
+            severity=self.severity,
+            path=rel,
             line=line,
             column=column,
             message=message,

@@ -1,3 +1,9 @@
 """Built-in ``repro check`` rules (importing registers them)."""
 
-from . import concurrency, determinism, hygiene, immutability  # noqa: F401
+from . import (  # noqa: F401
+    architecture,
+    concurrency,
+    determinism,
+    hygiene,
+    immutability,
+)

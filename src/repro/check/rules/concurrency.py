@@ -1,11 +1,13 @@
-"""Concurrency invariants: RC101 (sharding funnel), RC104 (async purity).
+"""Concurrency invariants: RC101 (sharding funnel), RC104/RC110 (async
+purity).
 
 The sharded execution layer was designed so that *all* process
 parallelism flows through :func:`repro.core.sharding.run_sharded` —
 that is the one place that knows about fork/spawn trade-offs,
 ``gc.freeze``, and worker-state initialization.  The serve loop is a
 single asyncio event loop; one blocking call stalls every in-flight
-request.
+request — whether it sits in the coroutine body (RC104) or one sync
+helper away from it (RC110, via the project call graph).
 """
 
 from __future__ import annotations
@@ -14,12 +16,23 @@ import ast
 from typing import TYPE_CHECKING, Iterator
 
 from ..context import walk_scope
+from ..graph import (
+    BLOCKING_ATTR_CALLS,
+    BLOCKING_METHODS,
+    BLOCKING_NAME_CALLS,
+    MODULE_QUALNAME,
+)
 from ..model import CheckFinding, CheckRule, register_check_rule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..context import ModuleSource, ProjectContext
+    from ..graph import ModuleFacts, ProjectGraph
 
-__all__ = ["MultiprocessingConfined", "NoBlockingInAsync"]
+__all__ = [
+    "MultiprocessingConfined",
+    "NoBlockingInAsync",
+    "NoBlockingReachableFromAsync",
+]
 
 
 @register_check_rule
@@ -86,25 +99,12 @@ class MultiprocessingConfined(CheckRule):
                             )
 
 
-#: Call patterns that block the event loop: plain built-ins, and
-#: ``module.function`` attribute calls keyed by the receiver name.
-#: Any attribute call on a name ``subprocess``/``socket`` is flagged.
-_BLOCKING_NAME_CALLS = frozenset({"open", "input"})
-_BLOCKING_ATTR_CALLS = frozenset(
-    {
-        ("time", "sleep"),
-        ("os", "system"),
-        ("socket", "create_connection"),
-        ("subprocess", "run"),
-        ("subprocess", "call"),
-        ("subprocess", "check_call"),
-        ("subprocess", "check_output"),
-        ("subprocess", "Popen"),
-    }
-)
-_BLOCKING_METHODS = frozenset(
-    {"read_text", "write_text", "read_bytes", "write_bytes"}
-)
+# The shared blocking-call vocabulary lives in ``repro.check.graph`` so
+# RC104 (direct calls) and RC110 (call-graph reachability) can never
+# disagree about what "blocking" means.
+_BLOCKING_NAME_CALLS = BLOCKING_NAME_CALLS
+_BLOCKING_ATTR_CALLS = BLOCKING_ATTR_CALLS
+_BLOCKING_METHODS = BLOCKING_METHODS
 
 
 @register_check_rule
@@ -171,3 +171,50 @@ class NoBlockingInAsync(CheckRule):
                         f"blocking call .{target.attr}() inside async def "
                         f"{func.name}",
                     )
+
+
+@register_check_rule
+class NoBlockingReachableFromAsync(CheckRule):
+    """No blocking calls reachable from ``async def`` bodies through
+    synchronous helpers.
+
+    RC104 catches ``time.sleep`` written directly inside a coroutine;
+    it is blind the moment the sleep moves into a helper function the
+    coroutine calls.  The event loop stalls exactly the same either
+    way.  This rule walks the project call graph from every ``async
+    def``, descending only through *synchronous* project functions
+    (an ``await``-ed coroutine reports its own body), and flags the
+    first call in the async body whose transitive closure contains a
+    blocking site.  The sanctioned escape hatch is unchanged: a helper
+    handed to ``asyncio.to_thread`` is never *called* by the
+    coroutine, so no call edge exists and nothing fires.
+
+    Remediation: Hand the blocking helper to ``asyncio.to_thread``
+    (or an executor) instead of calling it from the coroutine, or
+    replace the blocking primitive inside the helper with the asyncio
+    native and make the helper a coroutine.
+    """
+
+    code = "RC110"
+    title = "no blocking calls reachable from async def via sync helpers"
+    scope = "project"
+
+    def check_facts(
+        self, facts: "ModuleFacts", graph: "ProjectGraph"
+    ) -> Iterator[CheckFinding]:
+        for func in facts.functions:
+            if not func.is_async or func.qualname == MODULE_QUALNAME:
+                continue
+            name = func.qualname.rsplit(".", 1)[-1]
+            for entry, callee, site, path in graph.blocking_reachable(
+                facts.rel, func
+            ):
+                callee_rel, _callee_qual = callee
+                via = " -> ".join(path[1:])
+                yield self.finding_at(
+                    facts.rel,
+                    entry.lineno,
+                    entry.col,
+                    f"blocking call {site.label} reachable from async def "
+                    f"{name} via {via} ({callee_rel}:{site.lineno})",
+                )

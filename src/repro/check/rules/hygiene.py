@@ -9,12 +9,13 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from ..model import CheckFinding, CheckRule, Fix, register_check_rule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..context import ModuleSource, ProjectContext
+    from ..graph import ModuleFacts, ProjectGraph
 
 __all__ = ["NoSwallowedExceptions", "ReferencePurity", "CliFlagsDocumented"]
 
@@ -228,38 +229,24 @@ class CliFlagsDocumented(CheckRule):
 
     code = "RC108"
     title = "CLI flags documented under docs/"
+    scope = "project"
 
-    def check(
-        self, module: "ModuleSource", project: "ProjectContext"
+    def check_facts(
+        self, facts: "ModuleFacts", graph: "ProjectGraph"
     ) -> Iterator[CheckFinding]:
-        if not module.rel.endswith("cli.py"):
+        if not facts.rel.endswith("cli.py"):
             return
-        docs = project.docs_text()
-        seen: Dict[str, bool] = {}
-        for node in ast.walk(module.tree):
-            if not isinstance(node, ast.Call):
+        docs = graph.docs_text
+        seen: Set[str] = set()
+        for flag, lineno, col in facts.cli_flags:
+            if flag in seen:
                 continue
-            func = node.func
-            if not (
-                isinstance(func, ast.Attribute)
-                and func.attr == "add_argument"
-            ):
+            seen.add(flag)
+            if flag in docs:
                 continue
-            for arg in node.args:
-                if (
-                    isinstance(arg, ast.Constant)
-                    and isinstance(arg.value, str)
-                    and arg.value.startswith("--")
-                ):
-                    flag = arg.value
-                    if seen.get(flag):
-                        continue
-                    if f"`{flag}`" in docs or flag in docs:
-                        seen[flag] = True
-                        continue
-                    seen[flag] = True
-                    yield self.finding(
-                        module,
-                        arg,
-                        f"flag {flag} is not documented in any docs/*.md",
-                    )
+            yield self.finding_at(
+                facts.rel,
+                lineno,
+                col,
+                f"flag {flag} is not documented in any docs/*.md",
+            )

@@ -1,12 +1,14 @@
-"""Snapshot immutability invariants: RC102, RC105.
+"""Snapshot immutability invariants: RC102, RC105, RC111.
 
 The whole scaling architecture hangs off frozen snapshots: one
 ``AnalysisContext`` (with its ``RibSnapshot``/``RoaSnapshot``) is built
 per run and shared across worker processes, and the serve layer swaps
 immutable ``LeaseIndex`` generations atomically.  Mutating one of
 these after construction corrupts every consumer that assumed the
-freeze; shipping a non-spawn-safe class through ``run_sharded`` blows
-up only on spawn platforms, long after the code merged.
+freeze — whether the assignment is written in place (RC102) or hidden
+behind a helper the snapshot is passed into (RC111, via the project
+call graph); shipping a non-spawn-safe class through ``run_sharded``
+blows up only on spawn platforms, long after the code merged (RC105).
 """
 
 from __future__ import annotations
@@ -15,21 +17,18 @@ import ast
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
 from ..context import infer_local_types, iter_scopes, walk_scope
+from ..graph import FROZEN_CLASSES
 from ..model import CheckFinding, CheckRule, register_check_rule
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..context import ModuleSource, ProjectContext
+    from ..graph import ModuleFacts, ProjectGraph
 
-__all__ = ["SnapshotImmutability", "SpawnSafePayloads"]
-
-#: Frozen snapshot classes → the one module allowed to touch their
-#: attributes (their defining module, i.e. ``__init__`` and friends).
-FROZEN_CLASSES: Dict[str, str] = {
-    "AnalysisContext": "repro.core.context",
-    "RibSnapshot": "repro.core.context",
-    "RoaSnapshot": "repro.core.context",
-    "LeaseIndex": "repro.serve.index",
-}
+__all__ = [
+    "SnapshotImmutability",
+    "SpawnSafePayloads",
+    "NoTransitiveSnapshotMutation",
+]
 
 
 @register_check_rule
@@ -129,116 +128,83 @@ class SpawnSafePayloads(CheckRule):
 
     code = "RC105"
     title = "run_sharded payload classes define their pickled form"
+    scope = "project"
 
     #: Class names vetted as safe to pickle without explicit protocol
     #: support (reviewed: small, immutable, no derived state).
     ALLOWLIST: Set[str] = set()
 
-    def check(
-        self, module: "ModuleSource", project: "ProjectContext"
+    def check_facts(
+        self, facts: "ModuleFacts", graph: "ProjectGraph"
     ) -> Iterator[CheckFinding]:
-        for scope in iter_scopes(module.tree):
-            types: Optional[Dict[str, str]] = None
-            for node in walk_scope(scope):
-                if not isinstance(node, ast.Call):
-                    continue
-                if not _is_run_sharded(node.func) or not node.args:
-                    continue
-                if types is None:
-                    types = _all_local_classes(scope)
-                payload = _resolve_payload(scope, node.args[0])
-                for cls_name, at in _payload_classes(payload, types):
-                    yield from self._audit_class(
-                        module, project, cls_name, at
-                    )
-
-    def _audit_class(
-        self,
-        module: "ModuleSource",
-        project: "ProjectContext",
-        cls_name: str,
-        node: ast.AST,
-    ) -> Iterator[CheckFinding]:
-        if cls_name in self.ALLOWLIST:
-            return
-        defs = project.class_defs(cls_name)
-        for _def_module, class_def in defs:
-            if _is_spawn_safe(class_def):
-                return
-        if not defs:
-            return  # defined outside the checked tree; nothing to judge
-        yield self.finding(
-            module,
-            node,
-            f"{cls_name} rides a run_sharded payload but defines no "
-            "__getstate__/__reduce__/__slots__",
-        )
+        for cls_name, lineno, col in facts.payload_refs:
+            if cls_name in self.ALLOWLIST:
+                continue
+            defs = graph.classes_named(cls_name)
+            if not defs:
+                continue  # defined outside the checked tree
+            if any(cls.spawn_safe for _rel, cls in defs):
+                continue
+            yield self.finding_at(
+                facts.rel,
+                lineno,
+                col,
+                f"{cls_name} rides a run_sharded payload but defines no "
+                "__getstate__/__reduce__/__slots__",
+            )
 
 
-def _is_run_sharded(func: ast.expr) -> bool:
-    if isinstance(func, ast.Name):
-        return func.id == "run_sharded"
-    if isinstance(func, ast.Attribute):
-        return func.attr == "run_sharded"
-    return False
+@register_check_rule
+class NoTransitiveSnapshotMutation(CheckRule):
+    """No passing frozen snapshots into helpers that mutate their
+    parameters.
 
+    RC102 sees ``ctx.cache = {}`` only where the *variable* is known to
+    hold a snapshot; rename the parameter, drop the annotation, and the
+    same mutation one call away goes dark.  This rule closes the alias
+    hole with the project call graph: every function whose parameter is
+    attribute-assigned — directly, or by forwarding the parameter into
+    another mutating function, computed to a fixpoint — is *mutating*,
+    and passing a frozen snapshot instance into a mutating parameter
+    from outside the snapshot's defining module is flagged at the call
+    site, where the freeze contract is actually broken.
 
-def _all_local_classes(scope: ast.AST) -> Dict[str, str]:
-    """Local name → class name, for any inferable class (not a fixed set).
-
-    Reuses the shared inference but keeps *every* class-like binding:
-    the payload rule judges safety per class definition rather than
-    against a known list.
+    Remediation: Same as RC102 — build a new snapshot instead of
+    editing one through a helper.  Helpers that legitimately assemble a
+    snapshot belong in its defining module, where the freeze has not
+    happened yet.
     """
 
-    class _Everything:
-        def __contains__(self, item: object) -> bool:
-            return isinstance(item, str)
+    code = "RC111"
+    title = "frozen snapshots never flow into mutating parameters"
+    scope = "project"
 
-    return infer_local_types(scope, _Everything())
-
-
-def _resolve_payload(scope: ast.AST, payload: ast.expr) -> ast.expr:
-    """Chase ``payload = (...)`` bindings so wrapped tuples are seen."""
-    if not isinstance(payload, ast.Name):
-        return payload
-    for node in walk_scope(scope):
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if (
-                    isinstance(target, ast.Name)
-                    and target.id == payload.id
-                    and isinstance(node.value, (ast.Tuple, ast.List))
-                ):
-                    return node.value
-    return payload
-
-
-def _payload_classes(payload: ast.expr, types: Dict[str, str]):
-    """Yield ``(class_name, node)`` for classes visible in *payload*."""
-    for node in ast.walk(payload):
-        if isinstance(node, ast.Name) and node.id in types:
-            yield types[node.id], node
-        elif isinstance(node, ast.Call):
-            func = node.func
-            if isinstance(func, ast.Name) and func.id[:1].isupper():
-                yield func.id, node
-
-
-def _is_spawn_safe(class_def: ast.ClassDef) -> bool:
-    """True when the class declares its pickled form explicitly."""
-    for stmt in class_def.body:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if stmt.name in ("__getstate__", "__reduce__"):
-                return True
-        elif isinstance(stmt, ast.Assign):
-            for target in stmt.targets:
-                if isinstance(target, ast.Name) and target.id == "__slots__":
-                    return True
-        elif isinstance(stmt, ast.AnnAssign):
-            if (
-                isinstance(stmt.target, ast.Name)
-                and stmt.target.id == "__slots__"
-            ):
-                return True
-    return False
+    def check_facts(
+        self, facts: "ModuleFacts", graph: "ProjectGraph"
+    ) -> Iterator[CheckFinding]:
+        mutating = graph.mutating_params()
+        for func in facts.functions:
+            for passed in func.frozen_args:
+                home = FROZEN_CLASSES.get(passed.cls)
+                if home is None or facts.module == home:
+                    continue
+                callee = graph.resolve_call(
+                    facts.rel, func.owner_class, passed.base, passed.name
+                )
+                if callee is None:
+                    continue
+                callee_facts = graph.facts.get(callee[0])
+                if callee_facts is not None and callee_facts.module == home:
+                    continue  # defining-module helpers may assemble
+                offset = 1 if passed.base in ("self", "cls") else 0
+                param = graph.param_name(callee, passed.position, offset)
+                if param is None or param not in mutating.get(callee, set()):
+                    continue
+                yield self.finding_at(
+                    facts.rel,
+                    passed.lineno,
+                    passed.col,
+                    f"frozen {passed.cls} instance {passed.var!r} passed "
+                    f"into mutating parameter {param!r} of "
+                    f"{callee[1]}() ({callee[0]})",
+                )

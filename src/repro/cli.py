@@ -201,7 +201,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default text)",
     )
@@ -222,6 +222,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fix",
         action="store_true",
         help="apply the mechanically safe fixes and re-check",
+    )
+    check.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze changed files over N worker processes (default 1)",
+    )
+    check.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="incremental cache file "
+        "(default <root>/.repro-check-cache.json)",
+    )
+    check.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental cache",
     )
 
     timeline = sub.add_parser(
@@ -717,23 +737,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from .check import CheckEngine, load_project
+    from .check import CheckEngine
+    from .check.cache import DEFAULT_CACHE_NAME
     from .check.fixes import apply_fixes
+    from .check.sarif import render_sarif
 
     root = args.root.resolve()
     targets = args.paths or None
     engine = CheckEngine(select=args.select or None)
-    report = engine.run(load_project(root, targets))
+    cache_path = (
+        None
+        if args.no_cache
+        else (args.cache or root / DEFAULT_CACHE_NAME)
+    )
+    report = engine.analyze(
+        root, targets, cache_path=cache_path, jobs=args.jobs
+    )
     if args.fix:
         applied = apply_fixes(root, report.findings)
         for rel in sorted(applied):
             print(f"fixed {applied[rel]} finding(s) in {rel}")
-        if applied:  # re-check so the report reflects the new text
-            report = engine.run(load_project(root, targets))
+        if applied:  # re-analyze so the report reflects the new text
+            report = engine.analyze(
+                root, targets, cache_path=cache_path, jobs=args.jobs
+            )
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(report.render_text())
+    if report.analyzed is not None and args.format == "text":
+        print(
+            f"(analyzed {report.analyzed} changed files, "
+            f"reused {report.reused} cached)",
+            file=sys.stderr,
+        )
     return report.exit_code(args.fail_on)
 
 

@@ -49,7 +49,7 @@ from .allocation_tree import (
     TreeLeaf,
 )
 
-__all__ = ["AnalysisContext", "LeafKey", "RibSnapshot", "RoaSnapshot"]
+__all__ = ["AnalysisContext", "RibSnapshot", "RoaSnapshot"]
 
 _EMPTY: FrozenSet[int] = frozenset()
 

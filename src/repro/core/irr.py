@@ -17,7 +17,7 @@ from ..bgp.rib import RoutingTable
 from ..net import Prefix
 from ..whois.routes import RouteRegistry
 
-__all__ = ["IrrHygiene", "irr_hygiene"]
+__all__ = ["irr_hygiene"]
 
 
 @dataclass(frozen=True)

@@ -12,8 +12,6 @@ from typing import List, Tuple
 from ..net import Prefix
 
 __all__ = [
-    "BOGON_PREFIXES",
-    "RESERVED_ASN_RANGES",
     "is_reserved_asn",
     "covering_bogon",
 ]

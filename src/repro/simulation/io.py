@@ -32,7 +32,7 @@ from ..rpki.roa import RoaSet
 from ..whois.database import WhoisCollection, WhoisDatabase
 from .world import World
 
-__all__ = ["DatasetBundle", "FeaturedBundle", "write_world", "load_datasets"]
+__all__ = ["DatasetBundle", "write_world", "load_datasets"]
 
 
 @dataclass

@@ -22,7 +22,7 @@ from ..diagnostics.engine import DiagnosticsEngine
 from ..diagnostics.model import Severity
 from .database import WhoisDatabase
 
-__all__ = ["LintIssue", "LintLevel", "lint_database"]
+__all__ = ["LintLevel", "lint_database"]
 
 
 class LintLevel(enum.Enum):

@@ -1,0 +1,14 @@
+"""RC109 must fire: core-layer code importing its consumers."""
+# repro-check: module=repro.core.leaky
+
+from repro.serve.index import LeaseIndex
+
+
+def lookup(index: LeaseIndex, prefix):
+    return index.evidence.get(prefix)
+
+
+def render(report):
+    from repro.cli import main  # deferred imports still count
+
+    return main(report)

@@ -1,0 +1,16 @@
+"""RC109 must stay silent: serve may import core, net, and itself."""
+# repro-check: module=repro.serve.api
+
+from typing import TYPE_CHECKING
+
+from repro import __doc__ as _package_doc  # package root: always allowed
+from repro.core.context import AnalysisContext
+from repro.net import parse_prefix
+from repro.serve.index import LeaseIndex  # same layer: always allowed
+
+if TYPE_CHECKING:  # type-only edges never count for layering
+    from repro.cli import main
+
+
+def lookup(context: AnalysisContext, index: LeaseIndex, text: str):
+    return index.evidence.get(parse_prefix(text)), _package_doc

@@ -1,0 +1,25 @@
+"""RC110 must fire: blocking work reachable from async via helpers."""
+
+import time
+
+
+def _read(path):
+    with open(path) as handle:  # blocks, but only callers care
+        return handle.read()
+
+
+def _retry(path):
+    time.sleep(0.1)
+    return _read(path)
+
+
+async def handler(path):
+    return _retry(path)  # async -> _retry -> sleep and open
+
+
+class Loader:
+    def _fetch(self, path):
+        return path.read_text()
+
+    async def load(self, path):
+        return self._fetch(path)  # method edges resolve too

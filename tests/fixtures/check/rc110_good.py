@@ -1,0 +1,27 @@
+"""RC110 must stay silent: blocking helpers are deferred to threads."""
+
+import asyncio
+import time
+
+
+def _read(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def _retry(path):
+    time.sleep(0.1)
+    return _read(path)
+
+
+async def handler(path):
+    return await asyncio.to_thread(_retry, path)  # no call edge
+
+
+async def chained(path):
+    checked = await probe(path)  # async callees stop the walk
+    return checked
+
+
+async def probe(path):
+    return path

@@ -1,0 +1,24 @@
+"""RC111 must stay silent: helpers read snapshots or build new ones."""
+
+from repro.core.context import AnalysisContext
+
+
+def _summarize(context):
+    return len(context.rir_order)
+
+
+def _rebuild(context):
+    fresh = AnalysisContext(context.records)  # new snapshot, no edits
+    return fresh
+
+
+def _note(label, context):
+    return "%s: %s" % (label, _summarize(context))
+
+
+def run(records):
+    ctx = AnalysisContext(records)
+    _summarize(ctx)
+    _rebuild(ctx)
+    _note("run", ctx)  # positions map through correctly
+    return ctx

@@ -1,0 +1,16 @@
+"""RC112 must fire: dead exports and unregistered rule classes."""
+
+from repro.check.model import CheckRule
+
+__all__ = ["forgotten_helper", "STALE_CONSTANT"]
+
+STALE_CONSTANT = 7
+
+
+def forgotten_helper():
+    return STALE_CONSTANT
+
+
+class OrphanRule(CheckRule):  # looks finished, never registered
+    code = "RC999"
+    title = "never wired into the registry"

@@ -1,0 +1,17 @@
+"""RC112 must stay silent: registered rules, re-exports, dunders."""
+
+from repro.check.model import CheckRule, register_check_rule
+
+__all__ = ["CheckRule", "WiredRule", "__version__"]
+
+__version__ = "1.0"
+
+
+@register_check_rule
+class WiredRule(CheckRule):  # registry reaches it: always alive
+    code = "RC998"
+    title = "registered, therefore reachable"
+
+
+class _AbstractRule(CheckRule):  # abstract intermediate: exempt
+    pass

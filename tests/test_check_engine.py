@@ -28,6 +28,25 @@ def test_default_targets_skip_fixture_snippets():
     assert not any("fixtures" in m.rel for m in project.modules)
 
 
+def test_globbed_directory_skips_fixtures_explicit_file_does_not():
+    globbed = load_project(REPO_ROOT, ["tests"])
+    assert not any("fixtures" in m.rel for m in globbed.modules)
+    explicit = load_project(
+        REPO_ROOT, ["tests/fixtures/check/rc106_bad.py"]
+    )
+    assert [m.rel for m in explicit.modules] == [
+        "tests/fixtures/check/rc106_bad.py"
+    ]
+
+
+def test_file_listed_both_ways_loads_once():
+    rel = "tests/fixtures/check/rc106_bad.py"
+    for targets in ([rel, "tests"], ["tests", rel]):
+        project = load_project(REPO_ROOT, targets)
+        hits = [m.rel for m in project.modules if m.rel == rel]
+        assert hits == [rel], targets
+
+
 def test_exit_code_gates():
     report = CheckEngine(select=["RC106"]).run(
         load_project(FIXTURES, ["rc106_bad.py"])
@@ -108,6 +127,7 @@ def test_cli_check_subcommand(capsys):
             "--root", str(FIXTURES),
             "--select", "RC106",
             "--format", "json",
+            "--no-cache",
             "rc106_bad.py",
         ]
     )

@@ -1,0 +1,295 @@
+"""Incremental-cache, parallel fan-out, and SARIF emitter coverage.
+
+The contract under test: a warm cached run re-analyzes only changed
+files yet reports byte-for-byte what a cold run reports, any change to
+the effective rule set invalidates the cache wholesale, and the SARIF
+document is structurally valid 2.1.0.
+"""
+
+import json
+
+import pytest
+
+from repro.check import CheckEngine
+from repro.check.cache import (
+    DEFAULT_CACHE_NAME,
+    file_sha,
+    load_entries,
+)
+from repro.check.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
+from repro.diagnostics.model import Severity
+
+BAD_SOURCE = (
+    "def swallow(fn):\n"
+    "    try:\n"
+    "        return fn()\n"
+    "    except ValueError:\n"
+    "        pass\n"
+)
+
+CLEAN_SOURCE = "def fine():\n    return 1\n"
+
+
+@pytest.fixture()
+def project(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+def _analyze(root, cache_path, select=("RC106",), jobs=1, **kwargs):
+    engine = CheckEngine(select=list(select), **kwargs)
+    return engine.analyze(root, ["."], cache_path=cache_path, jobs=jobs)
+
+
+# -- cache behaviour ------------------------------------------------------
+
+
+def test_cold_then_warm_reuses_everything(project):
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache)
+    assert cold.analyzed == 2 and cold.reused == 0
+    assert [f.code for f in cold.findings] == ["RC106"]
+    warm = _analyze(project, cache)
+    assert warm.analyzed == 0 and warm.reused == 2
+    assert warm.to_json() == cold.to_json()
+    assert warm.render_text() == cold.render_text()
+
+
+def test_edit_reanalyzes_only_the_changed_file(project):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    (project / "clean.py").write_text("def fine():\n    return 2\n")
+    warm = _analyze(project, cache)
+    assert warm.analyzed == 1 and warm.reused == 1
+    assert [f.code for f in warm.findings] == ["RC106"]
+
+
+def test_edit_that_introduces_a_finding_is_seen_warm(project):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    (project / "clean.py").write_text(BAD_SOURCE)
+    warm = _analyze(project, cache)
+    assert warm.analyzed == 1
+    assert sorted(f.path for f in warm.findings) == ["bad.py", "clean.py"]
+
+
+def test_rule_set_change_invalidates_the_cache(project):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    other = _analyze(project, cache, select=("RC106", "RC103"))
+    assert other.analyzed == 2 and other.reused == 0
+
+
+def test_severity_override_invalidates_the_cache(project):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    downgraded = _analyze(
+        project,
+        cache,
+        severity_overrides={"RC106": Severity.INFO},
+    )
+    assert downgraded.analyzed == 2
+    assert downgraded.findings[0].severity is Severity.INFO
+
+
+def test_corrupt_cache_is_discarded_not_fatal(project):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    cache.write_text("{not json")
+    report = _analyze(project, cache)
+    assert report.analyzed == 2
+    assert [f.code for f in report.findings] == ["RC106"]
+
+
+def test_load_entries_rejects_foreign_fingerprints(project):
+    cache = project / DEFAULT_CACHE_NAME
+    engine = CheckEngine(select=["RC106"])
+    engine.analyze(project, ["."], cache_path=cache)
+    good = load_entries(cache, engine.fingerprint())
+    assert set(good) == {"bad.py", "clean.py"}
+    assert good["bad.py"]["sha"] == file_sha(project / "bad.py")
+    assert load_entries(cache, {"cache_version": -1}) == {}
+    assert load_entries(None, engine.fingerprint()) == {}
+
+
+def test_no_cache_path_never_writes(project):
+    report = _analyze(project, None)
+    assert report.analyzed == 2
+    assert not (project / DEFAULT_CACHE_NAME).exists()
+
+
+def test_suppressions_survive_the_cache(project):
+    suppressed = BAD_SOURCE.replace(
+        "    except ValueError:",
+        "    except ValueError:  "
+        "# repro-check: ignore[RC106] -- probe is best effort",
+    )
+    (project / "bad.py").write_text(suppressed)
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache)
+    assert not cold.findings and cold.suppressed == 1
+    warm = _analyze(project, cache)
+    assert warm.analyzed == 0
+    assert not warm.findings and warm.suppressed == 1
+
+
+def test_inert_suppression_reported_from_cache(project):
+    inert = BAD_SOURCE.replace(
+        "    except ValueError:",
+        "    except ValueError:  # repro-check: ignore[RC106]",
+    )
+    (project / "bad.py").write_text(inert)
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache)
+    warm = _analyze(project, cache)
+    for report in (cold, warm):
+        codes = sorted(f.code for f in report.findings)
+        assert codes == ["RC100", "RC106"]
+    assert warm.to_json() == cold.to_json()
+
+
+def test_project_rules_see_cached_facts(project):
+    # RC112 runs on every invocation, over facts that are entirely
+    # cached on the warm run — the dead export must still be found.
+    (project / "bad.py").write_text(
+        "__all__ = ['dead_export']\n"
+        "def dead_export():\n"
+        "    return 1\n"
+    )
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache, select=("RC112",))
+    warm = _analyze(project, cache, select=("RC112",))
+    assert warm.analyzed == 0 and warm.reused == 2
+    for report in (cold, warm):
+        assert [f.code for f in report.findings] == ["RC112"]
+        assert "dead_export" in report.findings[0].message
+
+
+def test_parallel_jobs_match_serial_output(project):
+    serial = _analyze(project, None, select=("RC103", "RC106"))
+    parallel = _analyze(
+        project, None, select=("RC103", "RC106"), jobs=2
+    )
+    assert parallel.to_json() == serial.to_json()
+    assert parallel.analyzed == 2
+
+
+# -- SARIF ----------------------------------------------------------------
+
+
+def _sarif_for(project, select=("RC106",)):
+    report = _analyze(project, None, select=select)
+    return json.loads(render_sarif(report)), report
+
+
+def test_sarif_document_shape(project):
+    document, report = _sarif_for(project)
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert document["$schema"] == SARIF_SCHEMA_URI
+    (run,) = document["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-check"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert "RC106" in rule_ids
+    assert len(run["results"]) == len(report.findings)
+
+
+def test_sarif_results_reference_rules_and_shift_columns(project):
+    document, report = _sarif_for(project)
+    (run,) = document["runs"]
+    driver_rules = run["tool"]["driver"]["rules"]
+    for result, finding in zip(run["results"], report.findings):
+        assert result["ruleId"] == finding.code
+        assert driver_rules[result["ruleIndex"]]["id"] == finding.code
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.column + 1  # 1-based
+        assert result["message"]["text"] == finding.message
+
+
+def test_sarif_rule_metadata_carries_docs(project):
+    document, _report = _sarif_for(project)
+    (rule,) = [
+        rule
+        for rule in document["runs"][0]["tool"]["driver"]["rules"]
+        if rule["id"] == "RC106"
+    ]
+    assert rule["shortDescription"]["text"]
+    assert rule["fullDescription"]["text"]
+    assert rule["help"]["text"]
+    assert rule["defaultConfiguration"]["level"] in (
+        "error", "warning", "note",
+    )
+
+
+def test_sarif_covers_synthetic_rc100(project):
+    (project / "bad.py").write_text(
+        BAD_SOURCE.replace(
+            "    except ValueError:",
+            "    except ValueError:  # repro-check: ignore[RC106]",
+        )
+    )
+    document, report = _sarif_for(project)
+    assert {f.code for f in report.findings} == {"RC100", "RC106"}
+    rule_ids = {
+        rule["id"]
+        for rule in document["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert "RC100" in rule_ids  # synthetic code still gets metadata
+
+
+def test_sarif_severity_level_mapping(project):
+    report = _analyze(
+        project,
+        None,
+        severity_overrides={"RC106": Severity.INFO},
+    )
+    document = json.loads(render_sarif(report))
+    levels = {r["level"] for r in document["runs"][0]["results"]}
+    assert levels == {"note"}  # SARIF spells info "note"
+
+
+# -- CLI surface ----------------------------------------------------------
+
+
+def test_cli_sarif_format(project, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "check",
+            "--root", str(project),
+            "--select", "RC106",
+            "--format", "sarif",
+            "--no-cache",
+            ".",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    document = json.loads(captured.out)
+    assert document["version"] == SARIF_VERSION
+
+
+def test_cli_cache_and_jobs_flags(project, capsys):
+    from repro.cli import main
+
+    cache = project / "custom-cache.json"
+    argv = [
+        "check",
+        "--root", str(project),
+        "--select", "RC106",
+        "--cache", str(cache),
+        "--jobs", "2",
+        ".",
+    ]
+    assert main(argv) == 1
+    cold = capsys.readouterr()
+    assert "analyzed 2 changed files, reused 0 cached" in cold.err
+    assert cache.exists()
+    assert main(argv) == 1
+    warm = capsys.readouterr()
+    assert "analyzed 0 changed files, reused 2 cached" in warm.err
+    assert warm.out == cold.out  # warm report is byte-identical

@@ -135,6 +135,32 @@ def test_cli_compare_without_mypy_is_soft(tmp_path, capsys, monkeypatch):
     assert "skipped" in out
 
 
+def test_cli_compare_require_mypy_hardens_the_gate(
+    tmp_path, capsys, monkeypatch
+):
+    import repro.check.ratchet as ratchet
+
+    write_baseline(tmp_path / "r.json", {"src/repro/x.py": 1})
+    monkeypatch.setattr(ratchet, "mypy_available", lambda: False)
+    code = ratchet.main(
+        ["compare", "--baseline", str(tmp_path / "r.json"), "--require-mypy"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "required but not installed" in out
+
+
+def test_committed_baseline_is_live():
+    # Bootstrap mode ended: the gate fails on growth everywhere, and
+    # every package module carries an explicit (shrink-only) ceiling.
+    baseline = load_baseline(REPO_ROOT / "scripts" / "mypy_ratchet.json")
+    assert baseline["bootstrap"] is False
+    modules = baseline["modules"]
+    for path in (REPO_ROOT / "src" / "repro").rglob("*.py"):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        assert rel in modules, f"{rel} missing from the ratchet baseline"
+
+
 def test_cli_update_without_mypy_fails(tmp_path, capsys, monkeypatch):
     import repro.check.ratchet as ratchet
 

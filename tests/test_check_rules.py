@@ -126,6 +126,106 @@ def test_rc108_reports_the_flag():
     )
 
 
+def test_rc109_names_both_layers():
+    messages = [f.message for f in _findings_for("RC109", "rc109_bad.py")]
+    assert len(messages) == 2  # module-level and deferred import
+    assert any("'core' may not import layer 'serve'" in m for m in messages)
+    assert any("'core' may not import layer 'cli'" in m for m in messages)
+
+
+def test_rc109_detects_import_cycles(tmp_path):
+    (tmp_path / "first.py").write_text(
+        "# repro-check: module=repro.core.first\n"
+        "from repro.core.second import helper\n"
+    )
+    (tmp_path / "second.py").write_text(
+        "# repro-check: module=repro.core.second\n"
+        "from repro.core.first import helper\n"
+    )
+    report = CheckEngine(select=["RC109"]).run(
+        load_project(tmp_path, ["first.py", "second.py"])
+    )
+    messages = [f.message for f in report.findings]
+    assert len(messages) == 1  # reported once, at the cycle's anchor
+    assert "import cycle: repro.core.first -> repro.core.second" in (
+        messages[0]
+    )
+
+
+def test_rc109_deferred_import_breaks_the_cycle(tmp_path):
+    (tmp_path / "first.py").write_text(
+        "# repro-check: module=repro.core.first\n"
+        "def late():\n"
+        "    from repro.core.second import helper\n"
+        "    return helper\n"
+    )
+    (tmp_path / "second.py").write_text(
+        "# repro-check: module=repro.core.second\n"
+        "from repro.core.first import late\n"
+    )
+    report = CheckEngine(select=["RC109"]).run(
+        load_project(tmp_path, ["first.py", "second.py"])
+    )
+    assert not report.findings
+
+
+def test_rc110_reports_the_blocking_path():
+    messages = [f.message for f in _findings_for("RC110", "rc110_bad.py")]
+    assert any(
+        "time.sleep() reachable from async def handler via _retry" in m
+        for m in messages
+    )
+    assert any("open() reachable from async def handler" in m for m in messages)
+    assert any(
+        ".read_text() reachable from async def load" in m for m in messages
+    )
+
+
+def test_rc111_names_the_mutating_parameter():
+    messages = [f.message for f in _findings_for("RC111", "rc111_bad.py")]
+    assert any(
+        "AnalysisContext instance 'ctx' passed into mutating "
+        "parameter 'context' of _poison()" in m
+        for m in messages
+    )
+    assert any("_forward()" in m for m in messages)  # fixpoint hop
+    assert any(
+        "LeaseIndex instance 'index' passed into mutating "
+        "parameter 'index' of Swapper._stamp()" in m
+        for m in messages
+    )
+
+
+def test_rc112_flags_both_faces():
+    messages = [f.message for f in _findings_for("RC112", "rc112_bad.py")]
+    assert any(
+        "__all__ export 'forgotten_helper' is never used" in m
+        for m in messages
+    )
+    assert any("'STALE_CONSTANT'" in m for m in messages)
+    assert any(
+        "rule class OrphanRule subclasses CheckRule but is never "
+        "registered" in m
+        for m in messages
+    )
+
+
+def test_rc112_export_lives_when_another_module_uses_it(tmp_path):
+    (tmp_path / "library.py").write_text(
+        "__all__ = ['shared_helper']\n"
+        "def shared_helper():\n"
+        "    return 1\n"
+    )
+    (tmp_path / "client.py").write_text(
+        "from library import shared_helper\n"
+        "print(shared_helper())\n"
+    )
+    report = CheckEngine(select=["RC112"]).run(
+        load_project(tmp_path, ["library.py", "client.py"])
+    )
+    assert not report.findings
+
+
 def test_suppression_requires_justification(tmp_path):
     source = (
         "def swallow(fn):\n"
