@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-serve report data clean
+.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-serve bench-stream report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -35,6 +35,9 @@ bench-pipeline:
 
 bench-serve:
 	PYTHONPATH=src $(PYTHON) -m repro.cli loadgen --out BENCH_serve.json
+
+bench-stream:
+	PYTHONPATH=src $(PYTHON) -m repro.cli stream --size large --out BENCH_stream.json
 
 report:
 	$(PYTHON) -m repro.cli report --out REPORT.md

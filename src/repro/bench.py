@@ -34,23 +34,37 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .core import (
+    IncrementalEngine,
     LeaseInferencePipeline,
     LegacyLeasePipeline,
     RelatednessOracle,
     RpkiValidationPipeline,
+    clone_routing_table,
     compare_epochs,
     compare_epochs_fast,
+    replay_into_table,
+    result_digest,
 )
 from .core.results import InferenceResult
 from .core.sharding import DEFAULT_SHARD_SIZE
-from .simulation import BENCH_SIZES, bench_world, build_world
+from .simulation import (
+    BENCH_SIZES,
+    bench_world,
+    build_world,
+    bursts_from_replay,
+    render_replay_log,
+    simulate_update_bursts,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
+    "STREAM_SCHEMA_VERSION",
     "all_equivalent",
     "append_trajectory",
     "load_trajectory",
     "run_benchmark",
+    "run_stream_benchmark",
+    "stream_from_args",
     "write_benchmark",
     "schema_shape",
 ]
@@ -552,6 +566,221 @@ def schema_shape(value: object) -> object:
     if isinstance(value, (int, float)):
         return type(value).__name__
     return value
+
+
+# -- streaming benchmark ---------------------------------------------------
+
+#: v1: one run per streaming session — config, baseline full-run time,
+#: per-burst incremental-vs-rebuild rows, and the single-update probe
+#: behind the headline speedup.
+STREAM_SCHEMA_VERSION = 1
+
+#: The simulator's default stream seed (distinct from the world seed so
+#: the same world can carry many different feeds).
+DEFAULT_STREAM_SEED = 20240403
+
+
+def run_stream_benchmark(
+    size: str = "small",
+    seed: int = 20240401,
+    stream_seed: int = DEFAULT_STREAM_SEED,
+    bursts: int = 3,
+    burst_size: int = 32,
+    verify: bool = True,
+    replay_text: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Tuple[Dict[str, object], Optional[str]]:
+    """One ``BENCH_stream.json`` run: burst-by-burst incremental latency.
+
+    Builds the bench world, runs the full pipeline once (the rebuild
+    baseline and the incremental engine's starting state), then applies
+    generated update bursts — measuring, per burst, the incremental
+    apply against a from-scratch rebuild on the identically mutated
+    table, with a digest comparison when ``verify`` is on.  A final
+    **single-update** probe captures the headline number: how much
+    faster one prefix's churn lands incrementally than via rebuild.
+
+    ``replay_text`` substitutes a committed replay-log fixture for the
+    generated feed (the single-update probe is skipped — a replay means
+    "reproduce exactly this").  Returns ``(report, replay_json)`` where
+    ``replay_json`` re-renders the applied feed for ``--record``.
+    """
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    replaying = replay_text is not None
+    if replay_text is not None:
+        size, seed, feed = bursts_from_replay(replay_text)
+        probe = None
+        bursts = len(feed)
+        say(f"[stream] building {size} world (seed {seed}) ...")
+        world = build_world(bench_world(size, seed=seed))
+    else:
+        say(f"[stream] building {size} world (seed {seed}) ...")
+        world = build_world(bench_world(size, seed=seed))
+        # One extra burst supplies the single-update probe; trimming it
+        # to its first message keeps the feed state-consistent because
+        # nothing is generated after it.
+        feed = simulate_update_bursts(
+            world, bursts + 1, burst_size, stream_seed
+        )
+        probe = feed[bursts][:1]
+        feed = feed[:bursts]
+
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    say("[stream] baseline full run ...")
+    started = time.perf_counter()
+    baseline = pipeline.run()
+    full_run_s = time.perf_counter() - started
+    context = pipeline.context
+    assert context is not None
+    started = time.perf_counter()
+    engine = IncrementalEngine(context)
+    engine_build_s = time.perf_counter() - started
+    baseline_identical = result_digest(baseline) == engine.digest()
+    del baseline
+    mutated = clone_routing_table(world.routing_table)
+
+    def rebuild() -> Tuple[float, str]:
+        gc.collect()
+        restarted = time.perf_counter()
+        scratch = LeaseInferencePipeline(
+            world.whois, mutated, world.relationships, world.as2org
+        ).run()
+        wall = time.perf_counter() - restarted
+        return wall, result_digest(scratch)
+
+    def measure(
+        label: str, burst, burst_index: int
+    ) -> Tuple[Dict[str, object], bool]:
+        restarted = time.perf_counter()
+        report = engine.apply(burst)
+        incremental_s = time.perf_counter() - restarted
+        replay_into_table(mutated, burst)
+        rebuild_s, scratch_digest = rebuild()
+        identical = (not verify) or scratch_digest == engine.digest()
+        say(
+            f"[stream] {label}: {len(burst)} updates, "
+            f"{report.reclassified} reclassified, "
+            f"incremental {incremental_s * 1000:.1f}ms vs rebuild "
+            f"{rebuild_s * 1000:.1f}ms, identical={identical}"
+        )
+        row: Dict[str, object] = {
+            "burst": burst_index,
+            "updates": len(burst),
+            "applied": report.applied,
+            "ignored": report.ignored,
+            "changed_prefixes": len(report.changed_prefixes),
+            "dirty_roots": len(report.dirty_roots),
+            "reclassified": report.reclassified,
+            "changed_rows": len(report.changed),
+            "incremental_s": round(incremental_s, 6),
+            "rebuild_s": round(rebuild_s, 4),
+            "speedup_vs_rebuild": (
+                round(rebuild_s / incremental_s, 1) if incremental_s else 0.0
+            ),
+            "bit_identical": identical,
+        }
+        return row, identical
+
+    rows: List[Dict[str, object]] = []
+    all_identical = baseline_identical
+    for index, burst in enumerate(feed):
+        row, identical = measure(f"burst {index}", burst, index)
+        rows.append(row)
+        all_identical = all_identical and identical
+
+    single: Optional[Dict[str, object]] = None
+    if probe:
+        single, identical = measure("single-update probe", probe, bursts)
+        all_identical = all_identical and identical
+
+    report_payload: Dict[str, object] = {
+        "schema": {"name": "BENCH_stream", "version": STREAM_SCHEMA_VERSION},
+        "config": {
+            "size": size,
+            "seed": seed,
+            "stream_seed": None if replaying else stream_seed,
+            "bursts": bursts,
+            "burst_size": None if replaying else burst_size,
+            "verify": verify,
+            "replay": replaying,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": _cpu_count(),
+        },
+        "world": {
+            "classifiable_leaves": context.total_leaves(),
+            "routed_prefixes": world.routing_table.num_prefixes(),
+        },
+        "baseline": {
+            "full_run_s": round(full_run_s, 4),
+            "engine_build_s": round(engine_build_s, 4),
+            "baseline_identical": baseline_identical,
+        },
+        "bursts": rows,
+        "single_update": single,
+        "totals": {
+            "updates": sum(int(str(row["updates"])) for row in rows),
+            "reclassified": sum(
+                int(str(row["reclassified"])) for row in rows
+            ),
+            "all_identical": all_identical,
+        },
+    }
+    applied_feed = list(feed) + ([probe] if probe else [])
+    replay_json = render_replay_log(size, seed, applied_feed)
+    return report_payload, replay_json
+
+
+def stream_from_args(args) -> int:
+    """CLI entry: ``repro stream``."""
+    replay_text: Optional[str] = None
+    if getattr(args, "replay", None):
+        try:
+            replay_text = Path(args.replay).read_text()
+        except OSError as exc:
+            print(f"cannot read replay log {args.replay}: {exc}")
+            return 2
+    elif args.size not in BENCH_SIZES:
+        print(f"unknown world size {args.size!r} "
+              f"(expected {', '.join(BENCH_SIZES)})")
+        return 2
+    report, replay_json = run_stream_benchmark(
+        size=args.size,
+        seed=args.seed,
+        stream_seed=args.stream_seed,
+        bursts=args.bursts,
+        burst_size=args.burst_size,
+        verify=not getattr(args, "no_verify", False),
+        replay_text=replay_text,
+        log=print,
+    )
+    append_trajectory(
+        report, args.out, "BENCH_stream", STREAM_SCHEMA_VERSION
+    )
+    print(f"wrote {args.out}")
+    if getattr(args, "record", None):
+        Path(args.record).write_text(replay_json + "\n")
+        print(f"recorded replay log at {args.record}")
+    totals = report["totals"]
+    assert isinstance(totals, dict)
+    if not bool(totals["all_identical"]):
+        print("FAIL: incremental result diverged from a from-scratch run")
+        return 1
+    single = report["single_update"]
+    if isinstance(single, dict):
+        print(
+            f"single-update probe: {single['speedup_vs_rebuild']}x faster "
+            "than a full rebuild"
+        )
+    return 0
 
 
 def run_from_args(args) -> int:

@@ -19,6 +19,17 @@ from .rib import RibEntry, RoutingTable
 from .simulator import Route, RouteKind, propagate
 from .table_dump import read_table_dump, write_table_dump
 from .topology import P2C, P2P, ASTopology
+from .updates import (
+    ReplayLog,
+    SequenceError,
+    SequenceGenerator,
+    SequencedUpdate,
+    UpdateParseError,
+    format_sequenced,
+    parse_sequenced_line,
+    read_updates,
+    write_updates,
+)
 
 __all__ = [
     "ASPath",
@@ -29,19 +40,28 @@ __all__ = [
     "MrtError",
     "P2C",
     "P2P",
+    "ReplayLog",
     "RibEntry",
     "Route",
     "RouteKind",
     "RoutingTable",
+    "SequenceError",
+    "SequenceGenerator",
+    "SequencedUpdate",
+    "UpdateParseError",
     "UpdateStream",
     "WithdrawUpdate",
     "build_routing_table",
     "collect_rib",
+    "format_sequenced",
     "format_update",
+    "parse_sequenced_line",
     "parse_update_line",
     "propagate",
     "read_mrt",
     "read_table_dump",
+    "read_updates",
     "write_mrt",
     "write_table_dump",
+    "write_updates",
 ]

@@ -68,6 +68,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run-all": _cmd_run_all,
         "report": _cmd_report,
         "bench": _cmd_bench,
+        "stream": _cmd_stream,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
     }[args.command]
@@ -303,6 +304,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the legacy/RPKI/longitudinal pipeline timings",
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="apply BGP update bursts incrementally and write "
+        "BENCH_stream.json",
+    )
+    stream.add_argument(
+        "--size",
+        default="small",
+        help="bench world size: small, medium, or large (default small)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=20240401, help="world seed"
+    )
+    stream.add_argument(
+        "--stream-seed",
+        type=int,
+        default=20240403,
+        help="update-feed seed (default 20240403)",
+    )
+    stream.add_argument(
+        "--bursts",
+        type=int,
+        default=3,
+        help="update bursts to apply (default 3)",
+    )
+    stream.add_argument(
+        "--burst-size",
+        type=int,
+        default=32,
+        help="updates per burst (default 32)",
+    )
+    stream.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the bit-identical digest check against full rebuilds",
+    )
+    stream.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        help="apply a committed replay-log fixture instead of generating",
+    )
+    stream.add_argument(
+        "--record",
+        type=Path,
+        default=None,
+        help="write the applied feed as a replay-log JSON fixture",
+    )
+    stream.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_stream.json"),
+        help="trajectory file to append to (default BENCH_stream.json)",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve lease lookups over HTTP from an inference snapshot",
@@ -477,6 +533,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_from_args
 
     return run_from_args(args)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .bench import stream_from_args
+
+    return stream_from_args(args)
 
 
 def _cmd_holders(args: argparse.Namespace) -> int:

@@ -47,6 +47,14 @@ from .hijack_confusion import (
     origin_changes,
 )
 from .context import AnalysisContext, RibSnapshot, RoaSnapshot
+from .incremental import (
+    BurstReport,
+    IncrementalEngine,
+    MutableRibOverlay,
+    clone_routing_table,
+    replay_into_table,
+    result_digest,
+)
 from .legacy import (
     LegacyInference,
     LegacyLeasePipeline,
@@ -95,6 +103,12 @@ __all__ = [
     "AllocationTree",
     "AnalysisContext",
     "BgpOriginHistory",
+    "BurstReport",
+    "IncrementalEngine",
+    "MutableRibOverlay",
+    "clone_routing_table",
+    "replay_into_table",
+    "result_digest",
     "CacheStats",
     "DEFAULT_SHARD_SIZE",
     "MemoizedClassifier",

@@ -107,6 +107,14 @@ class RibSnapshot:
                 return origins
         return _EMPTY
 
+    def exact_items(self) -> Iterable[Tuple[Prefix, FrozenSet[int]]]:
+        """The ``(prefix, origins)`` pairs of the exact index.
+
+        The incremental overlay seeds its mutable copy from this view;
+        iteration order is the underlying dict's insertion order.
+        """
+        return self._exact.items()
+
     def __contains__(self, prefix: Prefix) -> bool:
         return prefix in self._exact
 

@@ -39,7 +39,7 @@ from typing import (
 from ..net import Prefix
 from ..rir import RIR
 from .classify import Category
-from .context import AnalysisContext
+from .context import AnalysisContext, RibSnapshot
 
 __all__ = [
     "DEFAULT_SHARD_SIZE",
@@ -154,9 +154,10 @@ class ShardClassifier:
         context: AnalysisContext,
         rir: RIR,
         use_covering_root_lookup: bool = True,
+        rib: Optional[RibSnapshot] = None,
     ) -> None:
         self._context = context
-        self._rib = context.rib
+        self._rib = context.rib if rib is None else rib
         self._assigned_of_org = context.assigned.get(rir, {})
         self._use_covering = use_covering_root_lookup
         self._root_origins: Dict[Prefix, FrozenSet[int]] = {}
@@ -271,6 +272,16 @@ class ShardClassifier:
         resolved = self._assigned_of_org.get(org_id, _EMPTY)
         self._assigned[org_id] = resolved
         return resolved
+
+    def invalidate_root(self, root_prefix: Prefix) -> bool:
+        """Evict one root's resolved origins from the memo.
+
+        The incremental engine calls this when a burst touched a prefix
+        at or below *root_prefix*; every other memo survives (`_related`
+        and `_assigned` are RIB-independent, `_categories` is pure in its
+        key).  Returns True when an entry was actually evicted.
+        """
+        return self._root_origins.pop(root_prefix, None) is not None
 
     def stats(self) -> CacheStats:
         """This shard's cache counters."""

@@ -9,13 +9,14 @@ load generator (:mod:`~repro.serve.loadgen`).  See ``docs/SERVING.md``.
 """
 
 from .http import DEFAULT_CACHE_SIZE, MAX_BULK, LeaseQueryServer
-from .index import LeaseIndex
+from .index import DeltaLeaseIndex, LeaseIndex
 from .loadgen import run_loadgen, validate_serve_run
 from .reload import SnapshotManager
 
 __all__ = [
     "DEFAULT_CACHE_SIZE",
     "MAX_BULK",
+    "DeltaLeaseIndex",
     "LeaseIndex",
     "LeaseQueryServer",
     "SnapshotManager",

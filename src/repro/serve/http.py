@@ -50,12 +50,18 @@ _MAX_BODY = 1 << 20
 
 _REASONS = {
     200: "OK",
+    304: "Not Modified",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
 }
+
+
+def _etag_of(generation: int) -> str:
+    """The strong validator for one published generation."""
+    return f'"g{generation}"'
 
 Payload = Dict[str, object]
 
@@ -235,8 +241,8 @@ class LeaseQueryServer:
                     break
                 method, target, headers, body = request
                 try:
-                    status, payload, content_type = await self._dispatch(
-                        method, target, body
+                    status, payload, content_type, generation = (
+                        await self._dispatch(method, target, headers, body)
                     )
                 except Exception:  # noqa: BLE001 - request must get an answer
                     status = 500
@@ -244,11 +250,17 @@ class LeaseQueryServer:
                         {"error": "internal server error"}
                     ).encode("utf-8")
                     content_type = "application/json"
+                    generation = None
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
+                extra_headers: Dict[str, str] = {}
+                if generation is not None:
+                    extra_headers["ETag"] = _etag_of(generation)
+                    extra_headers["X-Generation"] = str(generation)
                 await self._write_response(
-                    writer, status, payload, content_type, keep_alive
+                    writer, status, payload, content_type, keep_alive,
+                    extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -301,24 +313,35 @@ class LeaseQueryServer:
         body: bytes,
         content_type: str,
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         reason = _REASONS.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {connection}\r\n"
-            "\r\n"
-        )
+        lines = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {connection}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     # -- routing -------------------------------------------------------------
     async def _dispatch(
-        self, method: str, target: str, body: bytes
-    ) -> Tuple[int, bytes, str]:
-        """Route one request; returns ``(status, body, content type)``."""
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, str, int]:
+        """Route one request: ``(status, body, content type, generation)``.
+
+        The snapshot — and with it the generation stamped into the
+        ``ETag``/``X-Generation`` headers — is captured exactly once per
+        request, so a delta apply landing mid-flight never tears an
+        answer.  A conditional GET whose ``If-None-Match`` names the
+        current generation short-circuits to an empty 304 after routing
+        resolved a cacheable 200.
+        """
         started = time.perf_counter()
         generation, index = self.manager.snapshot()
         if self._snapshot_hold_s > 0:
@@ -327,7 +350,15 @@ class LeaseQueryServer:
         endpoint, status, payload, text = self._route(
             method, path, body, generation, index
         )
-        if text is not None:
+        if (
+            method == "GET"
+            and status == 200
+            and headers.get("if-none-match") == _etag_of(generation)
+        ):
+            status = 304
+            rendered = b""
+            content_type = "application/json"
+        elif text is not None:
             rendered = text.encode("utf-8")
             content_type = "text/plain; version=0.0.4"
         else:
@@ -336,7 +367,7 @@ class LeaseQueryServer:
         self.counters.observe(
             endpoint, status, time.perf_counter() - started
         )
-        return status, rendered, content_type
+        return status, rendered, content_type, generation
 
     def _route(
         self,

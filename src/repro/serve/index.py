@@ -23,13 +23,13 @@ instances atomically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, cast
 
 from ..core.context import AnalysisContext
 from ..core.results import InferenceResult, LeafInference
 from ..net import AddressError, Prefix, PrefixTrie, resolve_covering_chain
 
-__all__ = ["LeaseIndex", "MAX_LISTING", "parse_asn_text"]
+__all__ = ["DeltaLeaseIndex", "LeaseIndex", "MAX_LISTING", "parse_asn_text"]
 
 #: Listing endpoints (ASN / org) cap their prefix lists at this many
 #: entries and set ``"truncated": true`` — a bounded response no matter
@@ -152,7 +152,19 @@ class LeaseIndex:
     # -- prefix lookups ---------------------------------------------------
     def exact(self, prefix: Prefix) -> Optional[Payload]:
         """The classified leaf stored at exactly *prefix*, or None."""
-        return self._trie.exact(prefix)
+        return self._patched(prefix, self._trie.exact(prefix))
+
+    def _patched(
+        self, prefix: Prefix, payload: Optional[Payload]
+    ) -> Optional[Payload]:
+        """The payload to surface for *prefix* (delta overlays override).
+
+        The base index surfaces trie payloads as stored; a delta layer
+        substitutes its patched payloads here so every lookup path —
+        exact, resolve, listings — sees one consistent view without
+        copying the trie.
+        """
+        return payload
 
     def resolve(self, prefix: Prefix) -> Optional[Payload]:
         """Exact-or-longest-prefix answer with the covering chain.
@@ -166,18 +178,22 @@ class LeaseIndex:
         if best is None:
             return None
         match_prefix, answer = best
+        patched = self._patched(match_prefix, answer)
+        assert patched is not None  # the trie held a payload for it
         return {
             "query": str(prefix),
             "match": "exact" if match_prefix == prefix else "longest-prefix",
             "matched_prefix": str(match_prefix),
-            "answer": answer,
+            "answer": patched,
             "covering": [
                 {
                     "prefix": str(chain_prefix),
-                    "category": chain_payload["category"],
-                    "leased": chain_payload["leased"],
+                    "category": entry["category"],
+                    "leased": entry["leased"],
                 }
                 for chain_prefix, chain_payload in chain
+                for entry in (self._patched(chain_prefix, chain_payload),)
+                if entry is not None
             ],
         }
 
@@ -222,7 +238,7 @@ class LeaseIndex:
         leased = 0
         answers: List[Payload] = []
         for prefix in prefixes:
-            payload = self._trie.exact(prefix)
+            payload = self.exact(prefix)
             assert payload is not None  # inverted indexes mirror the trie
             category = str(payload["category_code"])
             categories[category] = categories.get(category, 0) + 1
@@ -265,3 +281,122 @@ class LeaseIndex:
     def orgs(self) -> List[str]:
         """Every holder organisation handle, sorted (loadgen sampling)."""
         return sorted(self._by_org)
+
+    # -- delta generations -------------------------------------------------
+    def _delta_base(self) -> "LeaseIndex":
+        """The index whose trie a delta layer should share (self here)."""
+        return self
+
+    def _delta_overrides(self) -> Dict[Prefix, Payload]:
+        """Prior payload overrides to carry forward (none here)."""
+        return {}
+
+    def with_updates(
+        self, context: AnalysisContext, changes: Iterable[LeafInference]
+    ) -> "DeltaLeaseIndex":
+        """A new generation patching *changes* over this snapshot.
+
+        O(changes), not O(snapshot): the leaf trie is **shared** with
+        this index and only the changed leaves' payloads, the affected
+        inverted-index rows, and the category/leased tallies are
+        recomputed.  Applying updates to an already-patched generation
+        flattens onto the original base index, so override chains never
+        grow deeper than one level.
+
+        Streaming churn moves BGP evidence, never the WHOIS-derived
+        leaf set — a change naming an unindexed prefix raises
+        :class:`KeyError` rather than silently growing the snapshot.
+        """
+        overrides = dict(self._delta_overrides())
+        by_origin = dict(self._by_origin)
+        by_category = dict(self._by_category)
+        leased = self._leased
+        for inference in changes:
+            old = self.exact(inference.prefix)
+            if old is None:
+                raise KeyError(
+                    f"update for unindexed leaf {inference.prefix}; delta "
+                    "generations cannot add leaves — rebuild the snapshot"
+                )
+            payload = inference.to_payload()
+            evidence = payload["evidence"]
+            assert isinstance(evidence, dict)
+            evidence["relatedness"] = _relatedness_verdict(context, inference)
+            old_code = str(old["category_code"])
+            new_code = inference.category.name
+            if old_code != new_code:
+                remaining = by_category.get(old_code, 0) - 1
+                if remaining:
+                    by_category[old_code] = remaining
+                else:
+                    by_category.pop(old_code, None)
+                by_category[new_code] = by_category.get(new_code, 0) + 1
+            leased += int(inference.is_leased) - int(bool(old["leased"]))
+            old_evidence = old["evidence"]
+            assert isinstance(old_evidence, dict)
+            old_origins = frozenset(
+                cast(Iterable[int], old_evidence["leaf_origins"])
+            )
+            for asn in old_origins - inference.leaf_origins:
+                pruned = tuple(
+                    entry
+                    for entry in by_origin[asn]
+                    if entry != inference.prefix
+                )
+                if pruned:
+                    by_origin[asn] = pruned
+                else:
+                    del by_origin[asn]
+            for asn in inference.leaf_origins - old_origins:
+                by_origin[asn] = tuple(
+                    sorted(by_origin.get(asn, ()) + (inference.prefix,))
+                )
+            overrides[inference.prefix] = payload
+        return DeltaLeaseIndex(
+            base=self._delta_base(),
+            overrides=overrides,
+            by_origin=by_origin,
+            by_category=by_category,
+            leased=leased,
+        )
+
+
+class DeltaLeaseIndex(LeaseIndex):
+    """One delta generation: a base snapshot plus patched leaf payloads.
+
+    Shares the base index's trie and the static inverted indexes (RIR
+    and holder organisation never move under BGP churn); carries its own
+    by-origin index, tallies, and a flat payload-override map consulted
+    by every lookup through :meth:`LeaseIndex._patched`.
+    """
+
+    def __init__(
+        self,
+        base: LeaseIndex,
+        overrides: Dict[Prefix, Payload],
+        by_origin: Dict[int, Tuple[Prefix, ...]],
+        by_category: Dict[str, int],
+        leased: int,
+    ) -> None:
+        super().__init__(
+            trie=base._trie,
+            by_origin=by_origin,
+            by_org=base._by_org,
+            by_rir=base._by_rir,
+            by_category=by_category,
+            leased=leased,
+        )
+        self._base = base
+        self._overrides = overrides
+
+    def _delta_base(self) -> LeaseIndex:
+        return self._base
+
+    def _delta_overrides(self) -> Dict[Prefix, Payload]:
+        return self._overrides
+
+    def _patched(
+        self, prefix: Prefix, payload: Optional[Payload]
+    ) -> Optional[Payload]:
+        override = self._overrides.get(prefix)
+        return payload if override is None else override

@@ -65,6 +65,30 @@ class SnapshotManager:
             self._current = (self._generation, index)
             return self._generation
 
+    def apply_updates(
+        self, updater: Callable[[LeaseIndex], LeaseIndex]
+    ) -> int:
+        """Publish a delta generation derived from the current snapshot.
+
+        *updater* receives the published index and returns the patched
+        one (typically :meth:`LeaseIndex.with_updates`).  It runs
+        **inside** the swap lock so concurrent delta applies serialize —
+        each updater sees its predecessor's output, generations stay
+        strictly increasing, and no burst's patch is lost.  Readers stay
+        wait-free throughout: in-flight requests keep the pair they
+        captured.  Requires a published snapshot.
+        """
+        with self._lock:
+            if self._current is None:
+                raise RuntimeError(
+                    "SnapshotManager has no snapshot yet; swap() one in "
+                    "first"
+                )
+            index = updater(self._current[1])
+            self._generation += 1
+            self._current = (self._generation, index)
+            return self._generation
+
     def reload_now(self, builder: Callable[[], LeaseIndex]) -> int:
         """Build synchronously (blocking the caller) and swap."""
         return self.swap(builder())

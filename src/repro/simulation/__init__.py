@@ -12,14 +12,22 @@ from .scenario import (
     paper_world,
     small_world,
 )
+from .stream import (
+    DEFAULT_STREAM_START,
+    bursts_from_replay,
+    render_replay_log,
+    simulate_update_bursts,
+)
 from .world import FeaturedPrefix, World, WorldBuilder, build_world
 
 __all__ = [
     "BENCH_SIZES",
+    "DEFAULT_STREAM_START",
     "FeaturedPrefix",
     "GroundTruth",
     "MegaHolder",
     "bench_world",
+    "bursts_from_replay",
     "RegionSpec",
     "Scenario",
     "TruthEntry",
@@ -30,5 +38,7 @@ __all__ = [
     "build_route_registry",
     "build_world",
     "paper_world",
+    "render_replay_log",
+    "simulate_update_bursts",
     "small_world",
 ]

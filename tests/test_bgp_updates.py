@@ -1,0 +1,218 @@
+"""Tests for the sequenced BGP4MP update feed format.
+
+Mirrors the ``tests/fixtures/check`` idiom: every golden fixture under
+``tests/fixtures/stream`` is either an ``updates_good_*.txt`` feed the
+strict parser must accept whole, or an ``updates_bad_*.txt`` feed it
+must reject — and a meta-test enforces that both kinds exist.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bgp import (
+    ASPath,
+    ReplayLog,
+    SequencedUpdate,
+    SequenceError,
+    SequenceGenerator,
+    UpdateParseError,
+    format_sequenced,
+    parse_sequenced_line,
+    read_updates,
+    write_updates,
+)
+from repro.bgp.history import AnnounceUpdate, WithdrawUpdate
+from repro.net import Prefix
+
+FIXTURES = Path(__file__).parent / "fixtures" / "stream"
+
+
+def make_announce(seq=1, prefix="10.0.0.0/24", ts=1712102400):
+    return SequencedUpdate(
+        sequence=seq,
+        update=AnnounceUpdate(
+            timestamp=ts,
+            prefix=Prefix.parse(prefix),
+            path=ASPath.parse("3356 8851 15169"),
+            peer_asn=3356,
+            peer_address="198.32.160.1",
+        ),
+    )
+
+
+def make_withdraw(seq=2, prefix="10.0.0.0/24", ts=1712102401):
+    return SequencedUpdate(
+        sequence=seq,
+        update=WithdrawUpdate(
+            timestamp=ts,
+            prefix=Prefix.parse(prefix),
+            peer_asn=3356,
+            peer_address="198.32.160.1",
+        ),
+    )
+
+
+class TestGoldenFixtures:
+    """The committed good/bad feeds pin the strict parser's boundary."""
+
+    def test_fixture_pairs_exist(self):
+        assert sorted(FIXTURES.glob("updates_good_*.txt")), (
+            "no good feed fixtures under tests/fixtures/stream"
+        )
+        assert sorted(FIXTURES.glob("updates_bad_*.txt")), (
+            "no bad feed fixtures under tests/fixtures/stream"
+        )
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(FIXTURES.glob("updates_good_*.txt")),
+        ids=lambda p: p.stem,
+    )
+    def test_good_feed_parses_whole(self, path):
+        messages = list(read_updates(path.read_text()))
+        assert messages, f"{path.name} parsed to an empty feed"
+        sequences = [message.sequence for message in messages]
+        assert sequences == sorted(set(sequences))
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(FIXTURES.glob("updates_bad_*.txt")),
+        ids=lambda p: p.stem,
+    )
+    def test_bad_feed_rejected(self, path):
+        with pytest.raises((UpdateParseError, SequenceError)):
+            list(read_updates(path.read_text()))
+
+    def test_bad_sequence_fixture_is_a_sequence_error(self):
+        text = (FIXTURES / "updates_bad_sequence.txt").read_text()
+        with pytest.raises(SequenceError):
+            list(read_updates(text))
+
+
+class TestLineFormat:
+    def test_announce_round_trip(self):
+        message = make_announce()
+        line = format_sequenced(message)
+        assert line == (
+            "BGP4MP|1712102400|A|198.32.160.1|3356|"
+            "10.0.0.0/24|3356 8851 15169|IGP|1"
+        )
+        assert parse_sequenced_line(line) == message
+
+    def test_withdraw_round_trip(self):
+        message = make_withdraw()
+        line = format_sequenced(message)
+        assert line == "BGP4MP|1712102401|W|198.32.160.1|3356|10.0.0.0/24|2"
+        assert parse_sequenced_line(line) == message
+
+    def test_properties(self):
+        assert make_announce().is_announce
+        assert not make_withdraw().is_announce
+        assert make_announce().prefix == Prefix.parse("10.0.0.0/24")
+
+    def test_trailing_newline_tolerated(self):
+        line = format_sequenced(make_withdraw()) + "\n"
+        assert parse_sequenced_line(line) == make_withdraw()
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "BGP4MP|0",  # too few fields
+            "TABLE_DUMP2|0|A|1.2.3.4|1|10.0.0.0/8|1|IGP|1",  # wrong marker
+            "BGP4MP|0|B|1.2.3.4|1|10.0.0.0/8|1|IGP|1",  # unknown kind
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.0/8|1|IGP",  # A: 8 fields
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.0/8|1|IGP|1|x",  # A: 10 fields
+            "BGP4MP|0|W|1.2.3.4|1|10.0.0.0/8",  # W: 6 fields
+            "BGP4MP|0|W|1.2.3.4|1|10.0.0.0/8|1|2",  # W: 8 fields
+            "BGP4MP|now|A|1.2.3.4|1|10.0.0.0/8|1|IGP|1",  # bad timestamp
+            "BGP4MP|0|A|1.2.3.4|AS1|10.0.0.0/8|1|IGP|1",  # bad peer ASN
+            "BGP4MP|0|A|1.2.3.4|1|not-a-prefix|1|IGP|1",  # bad prefix
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.300/8|1|IGP|1",  # bad octet
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.0/8|one two|IGP|1",  # bad path
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.0/8|1|BGP|1",  # bad protocol
+            "BGP4MP|0|A|1.2.3.4|1|10.0.0.0/8|1|IGP|x",  # bad sequence
+            "BGP4MP|0|W|1.2.3.4|1|10.0.0.0/8|-1",  # negative sequence
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(UpdateParseError):
+            parse_sequenced_line(line)
+
+
+class TestSequenceGenerator:
+    def test_monotonic_across_stamps(self):
+        generator = SequenceGenerator()
+        first = generator.stamp(make_announce().update)
+        second = generator.stamp(make_withdraw().update)
+        assert (first.sequence, second.sequence) == (1, 2)
+
+    def test_custom_start(self):
+        assert SequenceGenerator(start=100).take() == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceGenerator(start=-1)
+
+
+class TestFeedIO:
+    def test_write_then_read_round_trip(self):
+        feed = [make_announce(1), make_withdraw(2), make_announce(3)]
+        assert list(read_updates(write_updates(feed))) == feed
+
+    def test_empty_feed(self):
+        assert write_updates([]) == ""
+        assert list(read_updates("")) == []
+
+    def test_blank_lines_skipped(self):
+        text = "\n" + format_sequenced(make_announce(1)) + "\n\n"
+        assert len(list(read_updates(text))) == 1
+
+    def test_duplicate_sequence_rejected(self):
+        feed = write_updates([make_announce(5), make_withdraw(5)])
+        with pytest.raises(SequenceError):
+            list(read_updates(feed))
+
+    def test_backwards_sequence_rejected(self):
+        feed = write_updates([make_announce(5), make_withdraw(3)])
+        with pytest.raises(SequenceError):
+            list(read_updates(feed))
+
+    def test_accepts_iterable_of_lines(self):
+        lines = [format_sequenced(make_announce(1))]
+        assert len(list(read_updates(lines))) == 1
+
+
+class TestReplayLog:
+    def make_log(self):
+        return ReplayLog(
+            world_size="small",
+            world_seed=20240401,
+            bursts=(
+                (format_sequenced(make_announce(1)),),
+                (
+                    format_sequenced(make_withdraw(2)),
+                    format_sequenced(make_announce(3, "10.0.1.0/24")),
+                ),
+            ),
+        )
+
+    def test_json_round_trip(self):
+        log = self.make_log()
+        assert ReplayLog.from_json(log.to_json()) == log
+
+    def test_burst_updates_parse_strict(self):
+        bursts = self.make_log().burst_updates()
+        assert [len(burst) for burst in bursts] == [1, 2]
+        assert bursts[1][1].prefix == Prefix.parse("10.0.1.0/24")
+
+    def test_malformed_fixture_fails_loudly(self):
+        log = ReplayLog(
+            world_size="small", world_seed=1, bursts=(("garbage",),)
+        )
+        with pytest.raises(UpdateParseError):
+            log.burst_updates()
+
+    def test_missing_key_fails_loudly(self):
+        with pytest.raises(KeyError):
+            ReplayLog.from_json('{"world_size": "small"}')

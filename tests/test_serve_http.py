@@ -368,3 +368,197 @@ class TestProtocol:
         reply = b"".join(chunks).decode("latin-1")
         assert reply.startswith("HTTP/1.1 200")
         assert "Connection: close" in reply
+
+
+def request_full(server, method, path, body=None, headers=None):
+    """One round trip returning (status, payload, response headers)."""
+    host, port = server.address
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if raw and content_type.startswith("application/json"):
+            payload = json.loads(raw)
+        else:
+            payload = raw.decode("utf-8")
+        return response.status, payload, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def delta_setup():
+    """A world whose pipeline context can mint delta generations."""
+    from repro.core import IncrementalEngine
+    from repro.simulation import simulate_update_bursts
+
+    world = build_world(small_world())
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    result = pipeline.run()
+    built = LeaseIndex.build(pipeline.context, result)
+    engine = IncrementalEngine(pipeline.context)
+    burst = simulate_update_bursts(world, 1, 24, 424242)[0]
+    report = engine.apply(burst)
+    assert report.changed, "seed 424242 must move at least one leaf"
+    return pipeline.context, built, report.changed
+
+
+class TestConditionalGet:
+    """Every response names its generation; matching ETags skip bodies."""
+
+    def test_etag_and_generation_headers(self, server):
+        status, _, headers = request_full(server, "GET", "/healthz")
+        assert status == 200
+        assert headers["ETag"] == '"g1"'
+        assert headers["X-Generation"] == "1"
+
+    def test_if_none_match_returns_304(self, server):
+        status, payload, headers = request_full(
+            server, "GET", "/healthz", headers={"If-None-Match": '"g1"'}
+        )
+        assert status == 304
+        assert payload == ""
+        assert headers["ETag"] == '"g1"'
+        assert headers["Content-Length"] == "0"
+
+    def test_stale_etag_gets_a_full_response(self, server):
+        status, payload, _ = request_full(
+            server, "GET", "/healthz", headers={"If-None-Match": '"g0"'}
+        )
+        assert status == 200
+        assert payload["generation"] == 1
+
+    def test_missing_resource_never_conditional(self, server):
+        status, _, _ = request_full(
+            server,
+            "GET",
+            "/v1/prefix/240.0.0.0%2F24",
+            headers={"If-None-Match": '"g1"'},
+        )
+        assert status == 404
+
+    def test_post_never_conditional(self, server, index):
+        prefixes = json.dumps({"prefixes": [str(index.prefixes()[0])]})
+        status, _, _ = request_full(
+            server,
+            "POST",
+            "/v1/bulk",
+            body=prefixes,
+            headers={"If-None-Match": '"g1"'},
+        )
+        assert status == 200
+
+    def test_swap_moves_the_etag(self, server, manager, index):
+        assert manager.swap(index) == 2
+        status, _, headers = request_full(
+            server, "GET", "/healthz", headers={"If-None-Match": '"g1"'}
+        )
+        assert status == 200
+        assert headers["ETag"] == '"g2"'
+
+
+class TestApplyUpdates:
+    """Delta generations swap in without a full LeaseIndex rebuild."""
+
+    def test_apply_updates_bumps_generation(self, manager, delta_setup):
+        context, _built, changes = delta_setup
+        generation = manager.apply_updates(
+            lambda current: current.with_updates(context, changes)
+        )
+        assert generation == 2
+        assert manager.snapshot()[0] == 2
+
+    def test_apply_updates_requires_a_snapshot(self, delta_setup):
+        context, _built, changes = delta_setup
+        with pytest.raises(RuntimeError):
+            SnapshotManager().apply_updates(
+                lambda current: current.with_updates(context, changes)
+            )
+
+    def test_served_answers_flip_to_the_delta(self, delta_setup):
+        context, built, changes = delta_setup
+        manager = SnapshotManager(built)
+        with LeaseQueryServer(manager) as server:
+            moved = changes[0]
+            path = "/v1/prefix/" + str(moved.prefix).replace("/", "%2F")
+            status, before, headers = request_full(server, "GET", path)
+            assert status == 200
+            assert headers["X-Generation"] == "1"
+            manager.apply_updates(
+                lambda current: current.with_updates(context, changes)
+            )
+            status, after, headers = request_full(server, "GET", path)
+            assert status == 200
+            assert headers["X-Generation"] == "2"
+            assert after["answer"]["category_code"] == moved.category.name
+            assert (
+                after["answer"]["evidence"]["leaf_origins"]
+                == sorted(moved.leaf_origins)
+            )
+            assert before["answer"] != after["answer"]
+
+    def test_concurrent_applies_serialize_and_chain(
+        self, delta_setup
+    ):
+        """N racing delta applies: strictly increasing generations, and
+        each updater receives its predecessor's output index."""
+        context, built, _changes = delta_setup
+        manager = SnapshotManager(built)
+        seen = []
+        generations = []
+        lock = threading.Lock()
+
+        def apply_one():
+            def updater(current):
+                produced = current.with_updates(context, [])
+                with lock:
+                    seen.append((id(current), id(produced)))
+                return produced
+
+            generations.append(manager.apply_updates(updater))
+
+        workers = [
+            threading.Thread(target=apply_one) for _ in range(8)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=10)
+        assert sorted(generations) == list(range(2, 10))
+        chain = [id(built)]
+        for received, produced in seen:
+            assert received == chain[-1]
+            chain.append(produced)
+        assert manager.generation == 9
+
+    def test_inflight_read_survives_delta_apply(self, delta_setup):
+        context, built, changes = delta_setup
+        manager = SnapshotManager(built)
+        with LeaseQueryServer(manager) as server:
+            server._snapshot_hold_s = 0.3
+            results = {}
+
+            def slow_request():
+                results["health"] = request_full(server, "GET", "/healthz")
+
+            worker = threading.Thread(target=slow_request)
+            worker.start()
+            time.sleep(0.1)  # let the request capture its snapshot
+            manager.apply_updates(
+                lambda current: current.with_updates(context, changes)
+            )
+            worker.join(timeout=10)
+            server._snapshot_hold_s = 0.0
+            status, payload, headers = results["health"]
+            assert status == 200
+            assert payload["generation"] == 1
+            assert headers["X-Generation"] == "1"
+            status, payload, headers = request_full(
+                server, "GET", "/healthz"
+            )
+            assert payload["generation"] == 2
+            assert headers["ETag"] == '"g2"'

@@ -186,3 +186,83 @@ class TestBatchReplay:
             verdict = index.exact(inference.prefix)["evidence"]["relatedness"]
             assert "related to" in verdict
             assert "AS" in verdict
+
+
+class TestDeltaGenerations:
+    """O(changes) delta layers must answer exactly like a full rebuild."""
+
+    @pytest.fixture(scope="class")
+    def state(self):
+        from dataclasses import replace
+
+        from repro.core import IncrementalEngine
+        from repro.serve import DeltaLeaseIndex
+        from repro.simulation import simulate_update_bursts
+
+        world = build_world(small_world())
+        pipeline = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        result = pipeline.run()
+        base = LeaseIndex.build(pipeline.context, result)
+        engine = IncrementalEngine(pipeline.context)
+        feed = simulate_update_bursts(world, 2, 24, 424242)
+        deltas = []
+        current = base
+        for burst in feed:
+            report = engine.apply(burst)
+            assert report.changed, "seed 424242 must move at least one leaf"
+            current = current.with_updates(pipeline.context, report.changed)
+            assert isinstance(current, DeltaLeaseIndex)
+            deltas.append(current)
+        full = LeaseIndex.build(pipeline.context, engine.result())
+        return {
+            "context": pipeline.context,
+            "base": base,
+            "deltas": deltas,
+            "full": full,
+            "replace": replace,
+        }
+
+    def test_stats_match_full_rebuild(self, state):
+        assert state["deltas"][-1].stats() == state["full"].stats()
+
+    def test_every_exact_payload_matches(self, state):
+        delta, full = state["deltas"][-1], state["full"]
+        assert delta.prefixes() == full.prefixes()
+        for prefix in full.prefixes():
+            assert delta.exact(prefix) == full.exact(prefix), prefix
+
+    def test_resolve_matches_including_covering_chain(self, state):
+        delta, full = state["deltas"][-1], state["full"]
+        for prefix in full.prefixes()[:20]:
+            assert delta.resolve(prefix) == full.resolve(prefix), prefix
+            sub = Prefix(prefix.network, min(prefix.length + 2, 32))
+            assert delta.resolve(sub) == full.resolve(sub), sub
+
+    def test_by_asn_matches(self, state):
+        delta, full = state["deltas"][-1], state["full"]
+        assert delta.asns() == full.asns()
+        for asn in full.asns():
+            assert delta.by_asn(asn) == full.by_asn(asn), asn
+
+    def test_by_org_unaffected_by_churn(self, state):
+        delta, base = state["deltas"][-1], state["base"]
+        assert delta.orgs() == base.orgs()
+
+    def test_generations_flatten_onto_the_original_base(self, state):
+        # Chained with_updates never stacks lookup layers: both delta
+        # generations patch directly over the built snapshot.
+        base = state["base"]
+        for delta in state["deltas"]:
+            assert delta._delta_base() is base
+
+    def test_churn_cannot_add_leaves(self, state, result):
+        # BGP churn moves origins around; it never creates WHOIS-derived
+        # leaves.  Patching an unindexed leaf must refuse loudly.
+        fake = state["replace"](
+            next(iter(result)), prefix=Prefix.parse("240.0.0.0/24")
+        )
+        with pytest.raises(KeyError, match="rebuild the snapshot"):
+            state["deltas"][-1].with_updates(state["context"], [fake])

@@ -1,0 +1,88 @@
+"""Tests for the ``repro stream`` benchmark and its trajectory schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_STREAM_SEED,
+    STREAM_SCHEMA_VERSION,
+    append_trajectory,
+    run_stream_benchmark,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+@pytest.fixture(scope="module")
+def run():
+    return run_stream_benchmark(size="small", bursts=1, burst_size=4)
+
+
+class TestRunStreamBenchmark:
+    def test_schema_header(self, run):
+        report, _replay = run
+        assert report["schema"] == {
+            "name": "BENCH_stream",
+            "version": STREAM_SCHEMA_VERSION,
+        }
+
+    def test_config_echoes_inputs(self, run):
+        report, _replay = run
+        assert report["config"] == {
+            "size": "small",
+            "seed": 20240401,
+            "stream_seed": DEFAULT_STREAM_SEED,
+            "bursts": 1,
+            "burst_size": 4,
+            "verify": True,
+            "replay": False,
+        }
+
+    def test_every_burst_bit_identical(self, run):
+        report, _replay = run
+        assert report["baseline"]["baseline_identical"] is True
+        assert len(report["bursts"]) == 1
+        assert all(row["bit_identical"] for row in report["bursts"])
+        assert report["totals"]["all_identical"] is True
+
+    def test_single_update_probe_recorded(self, run):
+        report, _replay = run
+        probe = report["single_update"]
+        assert probe["updates"] == 1
+        assert probe["bit_identical"] is True
+
+    def test_replay_reproduces_the_recorded_feed(self, run):
+        report, replay_json = run
+        replayed, _ = run_stream_benchmark(replay_text=replay_json)
+        assert replayed["config"]["replay"] is True
+        assert replayed["config"]["stream_seed"] is None
+        assert replayed["totals"]["all_identical"] is True
+        # The recorded feed carries the probe as its own burst, so the
+        # replay applies one more (single-update) burst than the run.
+        assert len(replayed["bursts"]) == len(report["bursts"]) + 1
+        assert replayed["single_update"] is None
+
+    def test_append_trajectory_round_trip(self, run, tmp_path):
+        report, _replay = run
+        out = tmp_path / "BENCH_stream.json"
+        append_trajectory(report, out, "BENCH_stream", STREAM_SCHEMA_VERSION)
+        append_trajectory(report, out, "BENCH_stream", STREAM_SCHEMA_VERSION)
+        payload = json.loads(out.read_text())
+        assert len(payload["runs"]) == 2
+
+
+class TestCommittedTrajectory:
+    """The committed BENCH_stream.json pins the headline speedup."""
+
+    def test_committed_run_meets_the_bar(self):
+        path = REPO_ROOT / "BENCH_stream.json"
+        payload = json.loads(path.read_text())
+        assert payload["schema"]["name"] == "BENCH_stream"
+        latest = payload["runs"][-1]
+        assert latest["config"]["size"] == "large"
+        assert latest["totals"]["all_identical"] is True
+        # Acceptance: a single-prefix burst lands >= 10x faster
+        # incrementally than a full rebuild on the large bench world.
+        assert latest["single_update"]["speedup_vs_rebuild"] >= 10.0
