@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-serve bench-stream report data clean
+.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-xlarge bench-serve bench-stream report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -32,6 +32,13 @@ bench:
 
 bench-pipeline:
 	PYTHONPATH=src $(PYTHON) -m repro.cli bench --out BENCH_pipeline.json
+
+# Full internet-scale tier with the shared-memory engine and memory
+# columns; takes minutes (world build dominates). See PERFORMANCE.md.
+bench-xlarge:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench --out BENCH_pipeline.json \
+		--sizes xlarge --repeats 1 --no-extensions \
+		--memory --spawn --shm
 
 bench-serve:
 	PYTHONPATH=src $(PYTHON) -m repro.cli loadgen --out BENCH_serve.json

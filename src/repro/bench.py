@@ -49,6 +49,7 @@ from .core.results import InferenceResult
 from .core.sharding import DEFAULT_SHARD_SIZE
 from .simulation import (
     BENCH_SIZES,
+    DEFAULT_BENCH_SIZES,
     bench_world,
     build_world,
     bursts_from_replay,
@@ -73,7 +74,13 @@ __all__ = [
 #: engine timings) and append-trajectory files — ``write_benchmark``
 #: accumulates runs instead of overwriting (v1 payloads migrate to
 #: ``runs[0]``).
-SCHEMA_VERSION = 2
+#: v3: memory accounting — per-mode ``payload_bytes`` (what each spawn
+#: worker unpickles) and ``segment_bytes`` (the shared-memory RIB),
+#: ``--memory`` peak-RSS columns, spawn / shared-memory engine modes,
+#: and a cpus-aware ``speedup_vs_serial`` that reports
+#: ``"insufficient_cpus"`` instead of a misleading ratio when the host
+#: has fewer cores than the mode has workers.
+SCHEMA_VERSION = 3
 
 #: Parallel modes measured by default.
 DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (2, 4)
@@ -111,14 +118,26 @@ def _time_mode(
     make_pipeline: Callable[[], LeaseInferencePipeline],
     run: Callable[[LeaseInferencePipeline], InferenceResult],
     repeats: int,
-) -> Tuple[float, Dict[str, float], _Digest, Optional[Dict[str, object]]]:
-    """Best wall time, its stage split, the digest, and cache stats."""
+    measure_payload: bool = False,
+) -> Tuple[
+    float,
+    Dict[str, float],
+    _Digest,
+    Optional[Dict[str, object]],
+    Optional[Dict[str, int]],
+]:
+    """Best wall time, its stage split, the digest, cache stats, and the
+    worker-payload sizes recorded by the best run (shared-memory runs
+    always record them; plain parallel runs only under
+    ``measure_payload``)."""
     best_wall: Optional[float] = None
     best_stages: Dict[str, float] = {}
     digest: _Digest = []
     cache: Optional[Dict[str, object]] = None
+    payload: Optional[Dict[str, int]] = None
     for _ in range(max(1, repeats)):
         pipeline = make_pipeline()
+        pipeline.measure_payload = measure_payload
         gc.collect()
         started = time.perf_counter()
         result = run(pipeline)
@@ -127,13 +146,34 @@ def _time_mode(
             best_wall = wall
             best_stages = dict(pipeline.timings)
             digest = _digest(result)
+            payload = dict(pipeline.shm_stats) if pipeline.shm_stats else None
             try:
                 cache = pipeline.cache_stats().as_dict()
             except RuntimeError:
                 cache = None
         del result, pipeline
     assert best_wall is not None
-    return best_wall, best_stages, digest, cache
+    return best_wall, best_stages, digest, cache, payload
+
+
+def _peak_rss() -> Tuple[Optional[int], Optional[int]]:
+    """High-water RSS bytes of this process and its reaped children.
+
+    ``ru_maxrss`` is a lifetime maximum, so per-mode values are
+    monotonically non-decreasing across a bench run: a mode's number is
+    the peak *up to and including* that mode.  The child figure covers
+    terminated pool workers, which every parallel mode reaps before the
+    reading is taken.  Linux reports kilobytes; returns ``(None, None)``
+    where :mod:`resource` is unavailable.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None, None
+    unit = 1024 if sys.platform != "darwin" else 1
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * unit
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * unit
+    return own, children
 
 
 def run_benchmark(
@@ -143,14 +183,25 @@ def run_benchmark(
     seed: int = 20240401,
     quick: bool = False,
     extensions: bool = True,
+    memory: bool = False,
+    spawn: bool = False,
+    shm: bool = False,
+    internet_scale: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, object]:
     """Run the harness and return one ``BENCH_pipeline.json`` run payload.
 
-    ``quick`` is the CI smoke configuration: the small world only, one
-    parallel mode, one repeat — seconds, not minutes.  ``extensions``
-    additionally times the legacy, RPKI, and longitudinal pipelines per
-    engine from the shared :class:`AnalysisContext` of the base run.
+    ``quick`` is the CI smoke configuration: one parallel mode, one
+    repeat, and — unless ``sizes`` is given explicitly — the small
+    world only.  ``extensions`` additionally times the legacy, RPKI,
+    and longitudinal pipelines per engine from the shared
+    :class:`AnalysisContext` of the base run.  ``memory`` records peak
+    RSS and spawn-payload bytes per mode; ``shm`` adds a
+    ``parallel-N-shm`` (fork + shared-memory RIB) mode; ``spawn`` adds
+    ``spawn-N`` and ``spawn-N-shm`` modes — the pair whose
+    ``payload_bytes`` gap is the point of the shared-memory engine.
+    ``internet_scale`` overrides the downsampling divisor of the
+    ``xlarge`` / ``internet`` tiers (larger divisor, smaller world).
     """
 
     def say(message: str) -> None:
@@ -158,17 +209,19 @@ def run_benchmark(
             log(message)
 
     if quick:
-        sizes = ["small"]
+        sizes = list(sizes) if sizes else ["small"]
         worker_counts = (2,)
         repeats = 1
-    sizes = list(sizes) if sizes is not None else list(BENCH_SIZES)
+    sizes = list(sizes) if sizes is not None else list(DEFAULT_BENCH_SIZES)
     worker_list = sorted(set(int(w) for w in worker_counts if int(w) > 1))
+    cpus = _cpu_count()
 
     worlds: List[Dict[str, object]] = []
     for size in sizes:
         say(f"[bench] building {size} world (seed {seed}) ...")
         started = time.perf_counter()
-        world = build_world(bench_world(size, seed=seed))
+        scale = internet_scale if size in ("xlarge", "internet") else None
+        world = build_world(bench_world(size, seed=seed, scale=scale))
         generate_s = time.perf_counter() - started
 
         def make_pipeline() -> LeaseInferencePipeline:
@@ -180,7 +233,7 @@ def run_benchmark(
             )
 
         say(f"[bench] {size}: generate {generate_s:.2f}s; reference run ...")
-        ref_wall, ref_stages, ref_digest, _ = _time_mode(
+        ref_wall, ref_stages, ref_digest, _, _ = _time_mode(
             make_pipeline, lambda p: p.run_reference(), repeats
         )
         leaves = len(ref_digest)
@@ -197,12 +250,14 @@ def run_benchmark(
                 serial_wall=None,
                 cache=None,
                 equivalent=True,
+                cpus=cpus,
+                memory=memory,
             )
         ]
 
         say(f"[bench] {size}: {leaves} leaves; serial run ...")
-        serial_wall, serial_stages, serial_digest, serial_cache = _time_mode(
-            make_pipeline, lambda p: p.run(workers=1), repeats
+        serial_wall, serial_stages, serial_digest, serial_cache, _ = (
+            _time_mode(make_pipeline, lambda p: p.run(workers=1), repeats)
         )
         modes.append(
             _mode_payload(
@@ -216,33 +271,48 @@ def run_benchmark(
                 serial_wall=serial_wall,
                 cache=serial_cache,
                 equivalent=serial_digest == ref_digest,
+                cpus=cpus,
+                memory=memory,
             )
         )
 
         for workers in worker_list:
             shard_size = _bench_shard_size(leaves, workers)
-            say(f"[bench] {size}: parallel-{workers} run ...")
-            wall, stages, digest, cache = _time_mode(
-                make_pipeline,
-                lambda p, w=workers, s=shard_size: p.run(
-                    workers=w, shard_size=s
-                ),
-                repeats,
-            )
-            modes.append(
-                _mode_payload(
-                    f"parallel-{workers}",
-                    workers=workers,
-                    shard_size=shard_size or DEFAULT_SHARD_SIZE,
-                    wall=wall,
-                    stages=stages,
-                    leaves=leaves,
-                    ref_wall=ref_wall,
-                    serial_wall=serial_wall,
-                    cache=cache,
-                    equivalent=digest == ref_digest,
+            variants: List[Tuple[str, Optional[str], bool]] = [
+                (f"parallel-{workers}", None, False)
+            ]
+            if shm:
+                variants.append((f"parallel-{workers}-shm", None, True))
+            if spawn:
+                variants.append((f"spawn-{workers}", "spawn", False))
+                variants.append((f"spawn-{workers}-shm", "spawn", True))
+            for mode_name, start_method, use_shm in variants:
+                say(f"[bench] {size}: {mode_name} run ...")
+                wall, stages, digest, cache, payload = _time_mode(
+                    make_pipeline,
+                    lambda p, w=workers, s=shard_size, m=start_method, u=use_shm: p.run(
+                        workers=w, shard_size=s, start_method=m, use_shm=u
+                    ),
+                    repeats,
+                    measure_payload=memory,
                 )
-            )
+                modes.append(
+                    _mode_payload(
+                        mode_name,
+                        workers=workers,
+                        shard_size=shard_size or DEFAULT_SHARD_SIZE,
+                        wall=wall,
+                        stages=stages,
+                        leaves=leaves,
+                        ref_wall=ref_wall,
+                        serial_wall=serial_wall,
+                        cache=cache,
+                        equivalent=digest == ref_digest,
+                        cpus=cpus,
+                        memory=memory,
+                        payload=payload,
+                    )
+                )
 
         world_payload: Dict[str, object] = {
             "size": size,
@@ -270,11 +340,15 @@ def run_benchmark(
             "repeats": max(1, repeats),
             "quick": quick,
             "extensions": extensions,
+            "memory": memory,
+            "spawn": spawn,
+            "shm": shm,
+            "internet_scale": internet_scale,
         },
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
-            "cpus": _cpu_count(),
+            "cpus": cpus,
         },
         "worlds": worlds,
     }
@@ -291,7 +365,21 @@ def _mode_payload(
     serial_wall: Optional[float],
     cache: Optional[Dict[str, object]],
     equivalent: bool,
+    cpus: int,
+    memory: bool = False,
+    payload: Optional[Dict[str, int]] = None,
 ) -> Dict[str, object]:
+    # A parallel mode timed on fewer cores than it has workers measures
+    # oversubscription, not speedup — mark it rather than publish a
+    # number that would read as a regression.
+    speedup_vs_serial: object
+    if serial_wall is None or not wall:
+        speedup_vs_serial = None
+    elif workers > cpus:
+        speedup_vs_serial = "insufficient_cpus"
+    else:
+        speedup_vs_serial = round(serial_wall / wall, 2)
+    rss_self, rss_children = _peak_rss() if memory else (None, None)
     return {
         "mode": mode,
         "workers": workers,
@@ -299,11 +387,11 @@ def _mode_payload(
         "wall_s": round(wall, 4),
         "leaves_per_s": round(leaves / wall, 1) if wall else 0.0,
         "speedup_vs_reference": round(ref_wall / wall, 2) if wall else 0.0,
-        "speedup_vs_serial": (
-            round(serial_wall / wall, 2)
-            if serial_wall is not None and wall
-            else None
-        ),
+        "speedup_vs_serial": speedup_vs_serial,
+        "payload_bytes": (payload or {}).get("payload_bytes"),
+        "segment_bytes": (payload or {}).get("segment_bytes"),
+        "peak_rss_bytes": rss_self,
+        "peak_child_rss_bytes": rss_children,
         "stages": {name: round(value, 4) for name, value in stages.items()},
         "cache": cache,
         "equivalent": equivalent,
@@ -811,6 +899,10 @@ def run_from_args(args) -> int:
         seed=args.seed,
         quick=args.quick,
         extensions=not getattr(args, "no_extensions", False),
+        memory=getattr(args, "memory", False),
+        spawn=getattr(args, "spawn", False),
+        shm=getattr(args, "shm", False),
+        internet_scale=getattr(args, "xlarge_scale", None),
         log=print,
     )
     write_benchmark(report, args.out)

@@ -279,7 +279,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--sizes",
         default=None,
-        help="comma-separated world sizes (default small,medium,large)",
+        help="comma-separated world sizes out of small, medium, large, "
+        "xlarge, internet (default small,medium,large)",
     )
     bench.add_argument(
         "--workers",
@@ -302,6 +303,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-extensions",
         action="store_true",
         help="skip the legacy/RPKI/longitudinal pipeline timings",
+    )
+    bench.add_argument(
+        "--memory",
+        action="store_true",
+        help="record peak RSS and per-worker payload bytes per mode",
+    )
+    bench.add_argument(
+        "--shm",
+        action="store_true",
+        help="also time a parallel-N-shm (fork + shared-memory RIB) mode",
+    )
+    bench.add_argument(
+        "--spawn",
+        action="store_true",
+        help="also time spawn-N and spawn-N-shm modes (the payload-bytes "
+        "comparison behind the shared-memory engine)",
+    )
+    bench.add_argument(
+        "--xlarge-scale",
+        type=int,
+        default=None,
+        help="downsampling divisor override for the xlarge/internet "
+        "tiers (larger divisor, smaller world; default 5 / 2)",
     )
 
     stream = sub.add_parser(

@@ -41,6 +41,7 @@ from .sharding import (
     effective_workers,
     run_sharded,
 )
+from .shm import SharedAnalysisContext, payload_pickle_bytes
 
 __all__ = ["LeaseInferencePipeline", "infer_leases"]
 
@@ -58,6 +59,8 @@ class LeaseInferencePipeline:
         use_covering_root_lookup: bool = True,
         workers: int = 1,
         shard_size: Optional[int] = None,
+        use_shm: bool = False,
+        start_method: Optional[str] = None,
     ) -> None:
         if isinstance(whois, WhoisDatabase):
             collection = WhoisCollection({whois.rir: whois})
@@ -70,6 +73,16 @@ class LeaseInferencePipeline:
         self.use_covering_root_lookup = use_covering_root_lookup
         self.workers = workers
         self.shard_size = shard_size
+        self.use_shm = use_shm
+        self.start_method = start_method
+        #: Filled by parallel shared-memory runs: segment + descriptor
+        #: sizes, for the bench payload-bytes column.
+        self.shm_stats: Optional[Dict[str, int]] = None
+        #: When set, parallel runs without shared memory also measure
+        #: the pickled payload each spawn worker would receive (the
+        #: bench's O(table)-vs-O(1) comparison).  Off by default: it
+        #: pickles the whole context once per run.
+        self.measure_payload = False
         self.trees: Dict[RIR, AllocationTree] = {}
         #: The shared substrate snapshot of the last :meth:`run`; reuse
         #: it across the extension pipelines to skip rebuilding.
@@ -86,6 +99,8 @@ class LeaseInferencePipeline:
         workers: Optional[int] = None,
         shard_size: Optional[int] = None,
         context: Optional[AnalysisContext] = None,
+        use_shm: Optional[bool] = None,
+        start_method: Optional[str] = None,
     ) -> InferenceResult:
         """Classify every leaf in the selected registries (default: all).
 
@@ -94,11 +109,19 @@ class LeaseInferencePipeline:
         ``workers`` > 1 classifies shards across a process pool — fork
         where available, spawn otherwise (the context is spawn-safe);
         small inputs (at most one shard) fall back to the identical
-        serial path.  Output is bit-for-bit equal to
-        :meth:`run_reference` in every mode.
+        serial path.  ``use_shm`` freezes the context's hot tables into
+        one shared-memory segment so each worker receives an O(1)
+        attach-by-name descriptor instead of a pickled copy; the
+        segment is unlinked before this method returns, crash or not.
+        Output is bit-for-bit equal to :meth:`run_reference` in every
+        mode.
         """
         workers = self.workers if workers is None else workers
         shard_size = self.shard_size if shard_size is None else shard_size
+        use_shm = self.use_shm if use_shm is None else use_shm
+        if start_method is None:
+            start_method = self.start_method
+        self.shm_stats = None
         result = InferenceResult()
 
         tree_started = time.perf_counter()
@@ -151,13 +174,37 @@ class LeaseInferencePipeline:
                 cache_stats.merge(classifier.stats())
         else:
             rir_order = tuple(work_rirs)
-            shards, outputs = run_sharded(
-                (context, self.use_covering_root_lookup, rir_order),
-                classify_shard_rows,
-                [len(context.leaf_keys[rir]) for rir in rir_order],
-                pool_size,
-                shard_size,
-            )
+            payload_context: object = context
+            shared: Optional[SharedAnalysisContext] = None
+            if use_shm:
+                shared = SharedAnalysisContext.from_context(context)
+                payload_context = shared
+                self.shm_stats = {
+                    "segment_bytes": shared.segment_bytes,
+                    "payload_bytes": payload_pickle_bytes(
+                        (shared, self.use_covering_root_lookup, rir_order)
+                    ),
+                }
+            elif self.measure_payload:
+                self.shm_stats = {
+                    "payload_bytes": payload_pickle_bytes(
+                        (context, self.use_covering_root_lookup, rir_order)
+                    ),
+                }
+            try:
+                shards, outputs = run_sharded(
+                    (payload_context, self.use_covering_root_lookup, rir_order),
+                    classify_shard_rows,
+                    [len(context.leaf_keys[rir]) for rir in rir_order],
+                    pool_size,
+                    shard_size,
+                    start_method=start_method,
+                )
+            finally:
+                # Unlink before reassembly: a worker crash (pool raises)
+                # must not leave a /dev/shm segment behind.
+                if shared is not None:
+                    shared.destroy()
             for shard, (rows, shard_stats) in zip(shards, outputs):
                 rir = rir_order[shard.work_index]
                 leaves = context.leaves(rir)[shard.start : shard.stop]

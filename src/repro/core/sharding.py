@@ -363,6 +363,7 @@ def run_sharded(
     unit_lengths: Sequence[int],
     workers: int,
     shard_size: Optional[int] = None,
+    start_method: Optional[str] = None,
 ) -> Tuple[List[Shard], List[object]]:
     """Run ``runner(payload, shard)`` across a process pool.
 
@@ -371,13 +372,28 @@ def run_sharded(
     ``runner`` must be a module-level function (spawn pickles it by
     reference) and ``payload`` must be picklable on spawn platforms;
     under fork neither is ever serialized.
+
+    ``start_method`` pins the pool's start method (``"fork"`` /
+    ``"spawn"`` / ``"forkserver"``); the default picks fork where
+    available.  Benchmarks and equivalence tests use the pin to measure
+    both code paths on one platform.
     """
     shards = plan_shards(unit_lengths, shard_size)
     if not shards:
         return [], []
     pool_size = min(workers, len(shards))
-    use_fork = fork_available()
-    mp_context = multiprocessing.get_context("fork" if use_fork else "spawn")
+    if start_method is None:
+        use_fork = fork_available()
+        method = "fork" if use_fork else "spawn"
+    else:
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} unavailable on this "
+                "platform"
+            )
+        method = start_method
+        use_fork = method == "fork"
+    mp_context = multiprocessing.get_context(method)
     if use_fork:
         # Freeze the inherited heap so worker GC passes skip it: without
         # this, the first collection in each child walks every parent

@@ -27,6 +27,8 @@ def render_bench_report(report: Dict[str, object]) -> str:
             "leaves/s",
             "vs reference",
             "vs serial",
+            "payload",
+            "peak rss",
             "cat hit%",
             "root hit%",
             "ok",
@@ -42,11 +44,9 @@ def render_bench_report(report: Dict[str, object]) -> str:
                     f"{mode['wall_s']:.2f}",
                     f"{mode['leaves_per_s']:,.0f}",
                     f"{mode['speedup_vs_reference']:.2f}x",
-                    (
-                        f"{mode['speedup_vs_serial']:.2f}x"
-                        if mode["speedup_vs_serial"] is not None
-                        else "-"
-                    ),
+                    _speedup(mode["speedup_vs_serial"]),
+                    _bytes(mode.get("payload_bytes")),
+                    _bytes(mode.get("peak_rss_bytes")),
                     _percent(rates.get("category")),
                     _percent(rates.get("root_origin")),
                     "yes" if mode["equivalent"] else "NO",
@@ -100,6 +100,29 @@ def _percent(rate: object) -> str:
     if rate is None:
         return "-"
     return f"{float(rate) * 100:.0f}%"
+
+
+def _speedup(value: object) -> str:
+    """Schema-v3 ``speedup_vs_serial``: a ratio, a marker string
+    (``"insufficient_cpus"``), or ``None`` for the reference mode."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return f"{float(value):.2f}x"
+
+
+def _bytes(value: object) -> str:
+    if value is None:
+        return "-"
+    size = float(int(value))
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024 or unit == "GB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:,.1f} {unit}"
+        size /= 1024
+    return f"{size:,.1f} GB"  # pragma: no cover - unreachable
 
 
 def render_serve_report(report: Dict[str, object]) -> str:

@@ -5,10 +5,12 @@ from .groundtruth import GroundTruth, TruthEntry, TruthKind
 from .irr import build_route_registry
 from .scenario import (
     BENCH_SIZES,
+    DEFAULT_BENCH_SIZES,
     MegaHolder,
     RegionSpec,
     Scenario,
     bench_world,
+    internet_world,
     paper_world,
     small_world,
 )
@@ -22,6 +24,7 @@ from .world import FeaturedPrefix, World, WorldBuilder, build_world
 
 __all__ = [
     "BENCH_SIZES",
+    "DEFAULT_BENCH_SIZES",
     "DEFAULT_STREAM_START",
     "FeaturedPrefix",
     "GroundTruth",
@@ -37,6 +40,7 @@ __all__ = [
     "build_geo_databases",
     "build_route_registry",
     "build_world",
+    "internet_world",
     "paper_world",
     "render_replay_log",
     "simulate_update_bursts",

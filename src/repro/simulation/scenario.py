@@ -10,17 +10,19 @@ tiny :func:`small_world` keeps unit tests fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..rir import RIR
 
 __all__ = [
     "BENCH_SIZES",
+    "DEFAULT_BENCH_SIZES",
     "MegaHolder",
     "RegionSpec",
     "Scenario",
     "bench_world",
+    "internet_world",
     "paper_world",
     "small_world",
 ]
@@ -145,6 +147,23 @@ class Scenario:
     roa_coverage_background: float = 0.46
     #: Fraction of announcements visible to the collectors (§7 bias knob).
     bgp_visibility: float = 1.0
+    #: Transit backbone shape.  The defaults reproduce the historical
+    #: hardcoded topology (6 tier-1 carriers, 4 tier-2 carriers per
+    #: registry, no IXPs) byte-for-byte; the internet tier raises them.
+    tier1_count: int = 6
+    tier2_per_region: int = 4
+    #: Internet-exchange route servers.  Each IXP gets one route-server
+    #: AS peering (p2p) with ``ixp_tier2_members`` sampled tier-2s per
+    #: region; heavyweight lessee/hosting ASes also peer at one IXP.
+    #: Zero keeps existing worlds identical (no extra RNG draws).
+    ixps: int = 0
+    ixp_tier2_members: int = 2
+    #: Fold announcements into the routing table while generating instead
+    #: of accumulating the full announcement list and sampling it at the
+    #: end — bounds peak memory on internet-scale worlds.  Only legal at
+    #: full visibility (sampling draws would change RNG order) and
+    #: without full propagation; ``World.announcements`` stays empty.
+    stream_routes: bool = False
     #: When True, RIBs come from full Gao-Rexford route propagation to
     #: the collector peers instead of the fast direct construction.
     #: Identical origins on connected topologies; use for small worlds or
@@ -325,35 +344,76 @@ def small_world(seed: int = 7) -> Scenario:
     )
 
 
+def internet_world(seed: int = 20240401, scale: int = 5) -> Scenario:
+    """The April 2024 Internet at ``1/scale`` with realistic transit.
+
+    Same Table-1 region counts as :func:`paper_world`, but the backbone
+    grows to twelve tier-1 carriers, 24 tier-2 carriers per registry and
+    eight IXP route servers; a larger hosting/lessee pool peers at the
+    exchanges; and routes are folded into the routing table while
+    generating (``stream_routes``) so peak memory stays bounded.  The
+    default 1/5 scale (the ``xlarge`` bench tier) yields ~137k
+    classifiable leaves and ~30k ASes; 1/2 (``internet``) ~344k leaves.
+    """
+    base = paper_world(seed=seed, scale=scale)
+    return replace(
+        base,
+        tier1_count=12,
+        tier2_per_region=24,
+        ixps=8,
+        ixp_tier2_members=3,
+        lessee_pool_size=max(60, 1_500 // scale),
+        stream_routes=True,
+    )
+
+
 #: Benchmark world sizes, smallest first.  ``small`` doubles as the CI
 #:  smoke world (sub-second end to end); ``large`` is the world the
-#: committed ``BENCH_pipeline.json`` speedups are measured on.
-BENCH_SIZES: Tuple[str, ...] = ("small", "medium", "large")
+#: committed ``BENCH_pipeline.json`` speedups were historically measured
+#: on; ``xlarge``/``internet`` are the :func:`internet_world` tiers the
+#: shared-memory RIB is sized for.
+BENCH_SIZES: Tuple[str, ...] = (
+    "small", "medium", "large", "xlarge", "internet"
+)
+
+#: The sizes `repro bench` runs when none are requested — the internet
+#: tiers are opt-in (minutes of generation time each).
+DEFAULT_BENCH_SIZES: Tuple[str, ...] = ("small", "medium", "large")
 
 #: paper_world scale factor per bench size (smaller scale = bigger world).
 _BENCH_SCALES: Dict[str, int] = {"medium": 100, "large": 20}
 
+#: internet_world scale factor for the internet-shaped tiers.
+_INTERNET_SCALES: Dict[str, int] = {"xlarge": 5, "internet": 2}
 
-def bench_world(size: str, seed: int = 20240401) -> Scenario:
+
+def bench_world(
+    size: str, seed: int = 20240401, scale: Optional[int] = None
+) -> Scenario:
     """The benchmark scenario for one of :data:`BENCH_SIZES`.
 
     * ``small`` — the :func:`small_world` test scenario (~150 leaves).
     * ``medium`` — :func:`paper_world` at 1/100 (~7k leaves).
     * ``large`` — :func:`paper_world` at 1/20 (~34k leaves).
+    * ``xlarge`` — :func:`internet_world` at 1/5 (~137k leaves).
+    * ``internet`` — :func:`internet_world` at 1/2 (~344k leaves).
 
-    Scales below ~1/15 overflow the configured per-region /8 pools;
-    the world builder then draws from its reserve pools, so any scale
-    remains buildable for ad-hoc scaling studies.
+    *scale* overrides the tier's default paper-scale divisor (CI smoke
+    runs the xlarge topology at a coarse scale).  Scales below ~1/15
+    overflow the configured per-region /8 pools; the world builder then
+    derives further reserve /8s, so any scale remains buildable.
     """
+    if size in _INTERNET_SCALES:
+        return internet_world(seed=seed, scale=scale or _INTERNET_SCALES[size])
     if size == "small":
         return small_world(seed=seed)
     try:
-        scale = _BENCH_SCALES[size]
+        default_scale = _BENCH_SCALES[size]
     except KeyError:
         raise ValueError(
             f"unknown bench size {size!r}; expected one of {BENCH_SIZES}"
         ) from None
-    return paper_world(seed=seed, scale=scale)
+    return paper_world(seed=seed, scale=scale or default_scale)
 
 
 _SMALL_POOLS: Dict[RIR, Tuple[int, ...]] = {

@@ -167,8 +167,17 @@ class World:
 #: ``address_pools`` — this is what lets one scenario knob scale a world
 #: from test-sized to bench-sized without editing every region spec.
 #: 130–176 collides with no configured pool and stays clear of the
-#: featured 203/8 space and multicast.
+#: featured 203/8 space and multicast.  Internet-scale worlds outgrow
+#: this list too; the builder then derives further /8s from the
+#: remaining unicast space (minus the exclusions below).
 RESERVE_POOLS: Tuple[int, ...] = tuple(range(130, 177))
+
+#: First octets never derived as reserve pools: "this" network (0),
+#: RFC1918 10/8, CGNAT 100/8, loopback 127/8, link-local 169/8,
+#: RFC1918 172/8, test/private 192/8 + 198/8, and the documentation
+#: space holding the featured prefix (203/8).  224+ (multicast and
+#: beyond) is excluded by construction.
+_EXCLUDED_SLASH8S = frozenset({0, 10, 100, 127, 169, 172, 192, 198, 203})
 
 
 class _AddressPool:
@@ -264,10 +273,22 @@ class WorldBuilder:
         self._org_counter = 0
         self._mnt_counter = 0
         self._intermediates: Set[Prefix] = set()
-        self._reserve_pools = iter(RESERVE_POOLS)
+        self._reserve_pools = self._iter_reserve_pools()
+        if scenario.stream_routes and (
+            scenario.bgp_visibility < 1.0 or scenario.full_propagation
+        ):
+            raise ValueError(
+                "stream_routes requires bgp_visibility >= 1.0 and no "
+                "full_propagation: visibility sampling and propagation "
+                "both need the complete announcement list"
+            )
+        self._streamed_table: Optional[RoutingTable] = (
+            RoutingTable() if scenario.stream_routes else None
+        )
         # Filled by the build steps.
         self.tier1: List[int] = []
         self.tier2: Dict[RIR, List[int]] = {}
+        self.ixp_route_servers: List[int] = []
         self.lessees: List[int] = []
         self.lessee_weights: List[int] = []
         self.drop_lessees: List[int] = []
@@ -336,6 +357,19 @@ class WorldBuilder:
         self._mnt_counter += 1
         return maintainer_handle(name, self._mnt_counter)
 
+    def _announce(self, prefix: Prefix, origin: int) -> None:
+        """Record one BGP announcement.
+
+        In streaming mode the route is folded straight into the routing
+        table (full visibility, so no sampling draw is skipped) and the
+        announcement list stays empty; otherwise the announcement is
+        accumulated for stage 4 exactly as before.
+        """
+        if self._streamed_table is not None:
+            self._streamed_table.add_route(prefix, origin)
+        else:
+            self.announcements.append(Announcement(prefix, origin))
+
     def _register_org(
         self,
         rir: RIR,
@@ -365,7 +399,8 @@ class WorldBuilder:
 
     # -- stage 1: transit backbone ---------------------------------------
     def _build_backbone(self) -> None:
-        self.tier1 = [self._asn() for _ in range(6)]
+        scenario = self.scenario
+        self.tier1 = [self._asn() for _ in range(scenario.tier1_count)]
         for index, left in enumerate(self.tier1):
             for right in self.tier1[index + 1 :]:
                 self.topology.add_p2p(left, right)
@@ -377,13 +412,43 @@ class WorldBuilder:
                 RIR.ARIN, f"Tier-1 Transit Carrier {index + 1}", asns=(asn,)
             )
         for spec in self.scenario.regions:
-            regional = [self._asn() for _ in range(4)]
+            regional = [
+                self._asn() for _ in range(scenario.tier2_per_region)
+            ]
             self.tier2[spec.rir] = regional
             for asn in regional:
                 for provider in self.rng.sample(self.tier1, 2):
                     self.topology.add_p2c(provider, asn)
             name = f"{spec.rir.name} Backbone Carrier"
             self._register_org(spec.rir, name, asns=regional)
+        self._build_ixps()
+
+    def _build_ixps(self) -> None:
+        """Internet-exchange route servers (internet-tier worlds only).
+
+        Each IXP is modelled as one route-server AS peering (p2p) with a
+        sample of tier-2 carriers from every region — the route-server
+        pattern of real exchanges, where members see each other's routes
+        without a transit relationship.  Gated on ``ixps > 0`` so the
+        historical worlds draw nothing extra from the RNG.
+        """
+        scenario = self.scenario
+        if scenario.ixps <= 0:
+            return
+        for index in range(scenario.ixps):
+            asn = self._asn()
+            self.ixp_route_servers.append(asn)
+            self._register_org(
+                RIR.RIPE, f"IXP Route Server {index + 1}", asns=(asn,)
+            )
+            for spec in self.scenario.regions:
+                regional = self.tier2[spec.rir]
+                members = self.rng.sample(
+                    regional,
+                    min(scenario.ixp_tier2_members, len(regional)),
+                )
+                for member in members:
+                    self.topology.add_p2p(asn, member)
 
     def _attach_edge_as(self, rir: RIR, asn: int) -> None:
         """Give an edge AS transit from a regional tier-2."""
@@ -407,6 +472,11 @@ class WorldBuilder:
             rir = self.rng.choice([RIR.RIPE, RIR.ARIN, RIR.APNIC])
             self._attach_edge_as(rir, asn)
             self._register_org(rir, name, asns=(asn,))
+            # Heavyweight hosting ASes also peer at an exchange (only in
+            # worlds that model IXPs — no extra draws otherwise).
+            if self.ixp_route_servers and weight >= 4:
+                server = self.rng.choice(self.ixp_route_servers)
+                self.topology.add_p2p(server, asn)
         hijacker_count = max(
             2, round(pool_size * scenario.hijacker_fraction_of_lessees)
         )
@@ -459,14 +529,35 @@ class WorldBuilder:
         )[0]
 
     # -- stage 3: one region ---------------------------------------------
+    def _iter_reserve_pools(self):
+        """All spare /8s: the static list, then derived unicast space.
+
+        The static :data:`RESERVE_POOLS` come first so existing worlds
+        stay byte-identical; once those run out, every unicast /8 not
+        configured in a region spec and not on the exclusion list is
+        handed out in ascending order.  Internet-scale worlds burn
+        through hundreds of /16 roots per region, so exhaustion must
+        never be a hard error.
+        """
+        yield from RESERVE_POOLS
+        configured = {
+            pool
+            for spec in self.scenario.regions
+            for pool in spec.address_pools
+        }
+        blocked = configured | set(RESERVE_POOLS) | _EXCLUDED_SLASH8S
+        for octet in range(1, 224):
+            if octet not in blocked:
+                yield octet
+
     def _draw_reserve_pool(self) -> int:
         """The next shared spare /8 (regions draw in build order)."""
         try:
             return next(self._reserve_pools)
         except StopIteration:
             raise RuntimeError(
-                "address pool exhausted and all reserve /8s are in use; "
-                "add /8s to the spec or extend RESERVE_POOLS"
+                "IPv4 unicast space exhausted: every configured, "
+                "reserve, and derived /8 is in use"
             ) from None
 
     def _build_region(self, spec: RegionSpec) -> None:
@@ -627,7 +718,7 @@ class WorldBuilder:
             )
         )
         if announces:
-            self.announcements.append(Announcement(root, asn))
+            self._announce(root, asn)
         return holder
 
     def _holder_series(
@@ -688,7 +779,7 @@ class WorldBuilder:
             )
         )
         if origin is not None:
-            self.announcements.append(Announcement(leaf, origin))
+            self._announce(leaf, origin)
         self.ground_truth.add(
             TruthEntry(
                 prefix=leaf,
@@ -918,7 +1009,7 @@ class WorldBuilder:
             holder.announces,
         )
         if holder.announces:
-            self.announcements.append(Announcement(root, holder.asn))
+            self._announce(root, holder.asn)
         return extended
 
     def _build_delegated(
@@ -1090,7 +1181,7 @@ class WorldBuilder:
                 origin = self.rng.choice(clean_hijackers or bg_hijackers)
             else:
                 origin = self.rng.choice(clean)
-            self.announcements.append(Announcement(prefix, origin))
+            self._announce(prefix, origin)
             # Background space is registered like any other direct
             # assignment; a routing table announcing WHOIS-less space
             # would be a cross-dataset inconsistency (diagnostics X501).
@@ -1107,6 +1198,10 @@ class WorldBuilder:
 
     # -- stage 4: routing table --------------------------------------------
     def _build_routing_table(self) -> RoutingTable:
+        if self._streamed_table is not None:
+            # Routes were folded in as they were generated (stage 3);
+            # the announcement list was never materialized.
+            return self._streamed_table
         visibility = self.scenario.bgp_visibility
         visible = [
             announcement

@@ -1,0 +1,22 @@
+"""RC101 must fire: the shm carve-out covers segment primitives only —
+pool imports inside repro.core.shm are still banned."""
+# repro-check: module=repro.core.shm
+
+import multiprocessing.pool
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import Pool, shared_memory
+
+
+def fan_out(items):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, items))
+
+
+def fan_out_mp(items):
+    with Pool() as pool:
+        return pool.map(str, items)
+
+
+def segment(size):
+    # the one legal import is not enough to launder the others
+    return shared_memory.SharedMemory(create=True, size=size)

@@ -1,0 +1,12 @@
+"""RC101 must stay silent: repro.core.shm may import the segment
+primitives (shared_memory, resource_tracker) — and nothing else — from
+multiprocessing."""
+# repro-check: module=repro.core.shm
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def attach(name):
+    segment = shared_memory.SharedMemory(name=name)
+    resource_tracker.unregister("/" + name, "shared_memory")
+    return segment

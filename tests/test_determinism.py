@@ -92,7 +92,7 @@ class TestBenchSchemaDeterminism:
 
     def test_quick_payload_sanity(self, quick_reports):
         report = quick_reports[0]
-        assert report["schema"] == {"name": "BENCH_pipeline", "version": 2}
+        assert report["schema"] == {"name": "BENCH_pipeline", "version": 3}
         assert report["config"]["quick"] is True
         assert report["config"]["extensions"] is True
         assert all_equivalent(report)
@@ -141,6 +141,80 @@ class TestBenchSchemaDeterminism:
             == second["worlds"][0]["classifiable_leaves"]
         )
 
+    def test_memory_columns_null_without_flag(self, quick_reports):
+        (world,) = quick_reports[0]["worlds"]
+        for mode in world["modes"]:
+            assert mode["payload_bytes"] is None
+            assert mode["segment_bytes"] is None
+            assert mode["peak_rss_bytes"] is None
+            assert mode["peak_child_rss_bytes"] is None
+
+
+class TestBenchMemoryModes:
+    """The v3 memory/shm/spawn accounting (`--memory --shm --spawn`)."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_benchmark(
+            quick=True,
+            seed=3,
+            extensions=False,
+            memory=True,
+            spawn=True,
+            shm=True,
+        )
+
+    def test_mode_grid(self, report):
+        (world,) = report["worlds"]
+        assert [mode["mode"] for mode in world["modes"]] == [
+            "reference", "serial", "parallel-2", "parallel-2-shm",
+            "spawn-2", "spawn-2-shm",
+        ]
+        assert all(mode["equivalent"] for mode in world["modes"])
+
+    def test_speedup_vs_serial_tri_state(self, report):
+        (world,) = report["worlds"]
+        modes = {mode["mode"]: mode for mode in world["modes"]}
+        # null for the reference row, a ratio when the host has the
+        # cores, the explicit marker when it does not (oversubscription
+        # measures the scheduler, not the code)
+        assert modes["reference"]["speedup_vs_serial"] is None
+        assert modes["serial"]["speedup_vs_serial"] == 1.0
+        for name in ("parallel-2", "spawn-2", "spawn-2-shm"):
+            value = modes[name]["speedup_vs_serial"]
+            if report["host"]["cpus"] < 2:
+                assert value == "insufficient_cpus"
+            else:
+                assert isinstance(value, float)
+
+    def test_spawn_payload_drops_to_o1_descriptor(self, report):
+        # The headline of the shared-memory engine: a spawn worker's
+        # payload is the pickled context without shm, the O(1)
+        # attach-by-name descriptor with it.
+        (world,) = report["worlds"]
+        modes = {mode["mode"]: mode for mode in world["modes"]}
+        pickled = modes["spawn-2"]["payload_bytes"]
+        descriptor = modes["spawn-2-shm"]["payload_bytes"]
+        assert pickled > 4 * 1024
+        assert descriptor < 4 * 1024
+        assert pickled > 4 * descriptor
+        assert modes["spawn-2-shm"]["segment_bytes"] > 0
+        assert modes["spawn-2"]["segment_bytes"] is None
+
+    def test_peak_rss_populated(self, report):
+        (world,) = report["worlds"]
+        for mode in world["modes"]:
+            assert mode["peak_rss_bytes"], mode["mode"]
+            assert mode["peak_rss_bytes"] > 1024 * 1024
+
+    def test_memory_report_renders_new_columns(self, report):
+        from repro.reporting.bench import render_bench_report
+
+        text = render_bench_report(report)
+        assert "payload" in text
+        assert "peak rss" in text
+        assert "KB" in text or "MB" in text
+
 
 class TestBenchCli:
     def test_quick_bench_writes_payload_and_renders(self, tmp_path, capsys):
@@ -155,7 +229,7 @@ class TestBenchCli:
         import json
 
         payload = json.loads(out.read_text())
-        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 2}
+        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 3}
         assert len(payload["runs"]) == 1
         assert "Pipeline bench" in captured
         assert f"wrote {out}" in captured
@@ -179,11 +253,11 @@ class TestBenchCli:
         write_benchmark(run, out)
         write_benchmark(run, out)
         payload = json.loads(out.read_text())
-        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 2}
+        assert payload["schema"] == {"name": "BENCH_pipeline", "version": 3}
         assert len(payload["runs"]) == 3
         # the migrated v1 run keeps its original stamp as provenance
         assert payload["runs"][0]["schema"]["version"] == 1
-        assert payload["runs"][1]["schema"]["version"] == 2
+        assert payload["runs"][1]["schema"]["version"] == 3
 
     def test_bad_size_and_workers_are_rejected(self, tmp_path, capsys):
         from repro.cli import main

@@ -1,0 +1,372 @@
+"""Tests for the zero-copy shared-memory context (``repro.core.shm``).
+
+Covers the flat-array radix helpers against the dict/trie structures
+they mirror, :class:`FlatRib` against :class:`RibSnapshot`,
+:class:`SharedAnalysisContext` against :class:`AnalysisContext` on every
+duck-typed method, the O(1) attach-by-name pickling contract, segment
+lifecycle (close / destroy / GC finalizer / crash cleanup), and full
+pipeline equivalence across fork, spawn, and shared-memory modes.
+"""
+
+import gc
+import pickle
+
+import pytest
+
+from repro.core import LeaseInferencePipeline
+from repro.core.context import AnalysisContext, RibSnapshot
+from repro.core.sharding import classify_shard_rows, plan_shards, run_sharded
+from repro.core.shm import (
+    FlatRib,
+    SharedAnalysisContext,
+    attached_segment_names,
+    payload_pickle_bytes,
+)
+from repro.net import Prefix
+from repro.net.radix import (
+    PrefixTrie,
+    flat_covered_range,
+    flat_covering_index,
+    flat_exact_index,
+    flat_longest_match_index,
+    pack_prefix,
+    unpack_prefix,
+)
+from repro.rir import RIR
+from repro.simulation import build_world, small_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(small_world())
+
+
+@pytest.fixture(scope="module")
+def pipeline(world):
+    p = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    p.run(workers=1)
+    return p
+
+
+@pytest.fixture(scope="module")
+def context(pipeline):
+    return pipeline.context
+
+
+def _probe_prefixes(context):
+    """Exact, covered, covering, and absent prefixes to interrogate."""
+    probes = []
+    for prefix, _origins in context.rib.exact_items():
+        probes.append(prefix)
+        if prefix.length < 30:
+            probes.append(Prefix(prefix.network, prefix.length + 2))
+        if prefix.length > 2:
+            probes.append(prefix.supernet(prefix.length - 2))
+    probes.append(Prefix.parse("203.0.113.0/24"))  # never announced
+    return probes
+
+
+class TestFlatHelpers:
+    def test_pack_unpack_roundtrip(self):
+        for text in ("0.0.0.0/0", "10.0.0.0/8", "192.0.2.128/25",
+                     "255.255.255.255/32"):
+            prefix = Prefix.parse(text)
+            assert unpack_prefix(pack_prefix(prefix)) == prefix
+
+    def test_pack_orders_like_prefixes(self):
+        prefixes = sorted(
+            Prefix.parse(t)
+            for t in ("10.0.0.0/8", "10.0.0.0/16", "10.1.0.0/16",
+                      "11.0.0.0/8", "192.0.2.0/24")
+        )
+        packed = [pack_prefix(p) for p in prefixes]
+        assert packed == sorted(packed)
+
+    def test_flat_lookups_match_prefix_trie(self, context):
+        entries = sorted(
+            (pack_prefix(p), p) for p, _ in context.rib.exact_items()
+        )
+        keys = [packed for packed, _ in entries]
+        lengths = tuple(sorted({key & 0xFF for key in keys}))
+        trie = PrefixTrie()
+        for _, prefix in entries:
+            trie.insert(prefix, prefix)
+        for probe in _probe_prefixes(context):
+            exact = flat_exact_index(keys, probe)
+            assert (exact is not None) == (trie.exact(probe) is not None)
+            if exact is not None:
+                assert unpack_prefix(keys[exact]) == probe
+            longest = flat_longest_match_index(keys, lengths, probe)
+            trie_longest = trie.longest_match(probe)
+            assert (longest is None) == (trie_longest is None)
+            if longest is not None:
+                assert unpack_prefix(keys[longest]) == trie_longest[0]
+
+    def test_flat_covered_range_is_the_subtree(self, context):
+        entries = sorted(
+            (pack_prefix(p), p) for p, _ in context.rib.exact_items()
+        )
+        keys = [packed for packed, _ in entries]
+        for probe in _probe_prefixes(context):
+            start, stop = flat_covered_range(keys, probe)
+            covered = {entries[i][1] for i in range(start, stop)}
+            expected = {
+                prefix for _, prefix in entries if probe.contains(prefix)
+            }
+            assert covered == expected
+
+    def test_flat_covering_index_finds_least_specific(self, context):
+        entries = sorted(
+            (pack_prefix(p), p) for p, _ in context.rib.exact_items()
+        )
+        keys = [packed for packed, _ in entries]
+        lengths = tuple(sorted({key & 0xFF for key in keys}))
+        stored = {prefix for _, prefix in entries}
+        for probe in _probe_prefixes(context):
+            found = flat_covering_index(keys, lengths, probe)
+            expected = None
+            for length in sorted(lengths):
+                if length > probe.length:
+                    break
+                candidate = probe.supernet(length)
+                if candidate in stored:
+                    expected = candidate
+                    break
+            if expected is None:
+                assert found is None
+            else:
+                assert found is not None
+                assert unpack_prefix(keys[found]) == expected
+
+
+class TestFlatRib:
+    def test_matches_rib_snapshot_everywhere(self, context):
+        flat = FlatRib.from_snapshot(context.rib)
+        assert len(flat) == len(list(context.rib.exact_items()))
+        for probe in _probe_prefixes(context):
+            assert flat.exact_origins(probe) == context.rib.exact_origins(
+                probe
+            )
+            assert flat.covering_origins(
+                probe
+            ) == context.rib.covering_origins(probe)
+            assert (probe in flat) == (
+                context.rib.exact_origins(probe) != frozenset()
+                or probe in dict(context.rib.exact_items())
+            )
+
+    def test_exact_items_round_trip(self, context):
+        flat = FlatRib.from_snapshot(context.rib)
+        assert dict(flat.exact_items()) == dict(context.rib.exact_items())
+
+
+class TestSharedAnalysisContext:
+    def test_duck_type_equivalence(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            assert shared.rirs == context.rirs
+            assert shared.max_leaf_length == context.max_leaf_length
+            assert shared.stats == context.stats
+            assert shared.total_leaves() == context.total_leaves()
+            asns = sorted(context.related_sets)
+            for asn in asns[:50] + [999_999]:
+                assert shared.related_to(asn) == context.related_to(asn)
+            for rir in context.rirs:
+                keys = context.leaf_keys.get(rir, ())
+                assert list(shared.leaf_keys.get(rir, ())) == list(keys)
+                org_map = context.assigned.get(rir, {})
+                for org in sorted(org_map):
+                    assert shared.assigned_asns(rir, org) == (
+                        context.assigned_asns(rir, org)
+                    )
+                assert shared.assigned_asns(rir, "no-such-org") == frozenset()
+                assert shared.assigned_asns(rir, None) == frozenset()
+        finally:
+            shared.destroy()
+
+    def test_leaves_raises_like_stripped_context(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            with pytest.raises(RuntimeError):
+                shared.leaves(RIR.RIPE)
+        finally:
+            shared.destroy()
+
+    def test_classify_rows_identical(self, context):
+        rir_order = tuple(
+            rir for rir in context.rirs if context.leaf_keys.get(rir)
+        )
+        shards = plan_shards(
+            [len(context.leaf_keys[rir]) for rir in rir_order], 16
+        )
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            for shard in shards:
+                base = classify_shard_rows(
+                    (context, True, rir_order), shard
+                )
+                flat = classify_shard_rows((shared, True, rir_order), shard)
+                assert flat == base
+        finally:
+            shared.destroy()
+
+    def test_pickle_is_o1_descriptor(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            full = payload_pickle_bytes(context)
+            o1 = payload_pickle_bytes(shared)
+            assert o1 < full / 4
+            assert o1 < 16 * 1024  # descriptor metadata, not tables
+        finally:
+            shared.destroy()
+
+    def test_pickle_round_trip_attaches_by_name(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            clone = pickle.loads(pickle.dumps(shared))
+            try:
+                assert clone.segment_name == shared.segment_name
+                assert clone.total_leaves() == context.total_leaves()
+                probe = next(iter(context.rib.exact_items()))[0]
+                assert clone.rib.exact_origins(
+                    probe
+                ) == context.rib.exact_origins(probe)
+            finally:
+                clone.close()
+        finally:
+            shared.destroy()
+
+
+class TestSegmentLifecycle:
+    def test_destroy_unlinks_and_is_idempotent(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        name = shared.segment_name
+        assert name in attached_segment_names()
+        shared.destroy()
+        assert name not in attached_segment_names()
+        shared.destroy()  # second call is a no-op, not an error
+
+    def test_attached_copy_close_keeps_segment_linked(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            clone = pickle.loads(pickle.dumps(shared))
+            clone.close()
+            assert shared.segment_name in attached_segment_names()
+        finally:
+            shared.destroy()
+        assert attached_segment_names() == []
+
+    def test_gc_finalizer_unlinks_owner_segment(self, context):
+        shared = SharedAnalysisContext.from_context(context)
+        name = shared.segment_name
+        del shared
+        gc.collect()
+        assert name not in attached_segment_names()
+
+    def test_worker_crash_leaves_no_segment(self, world, monkeypatch):
+        """A dying pool must not leak /dev/shm segments: the pipeline
+        destroys the segment in a ``finally`` around ``run_sharded``."""
+        import repro.core.pipeline as pipeline_module
+
+        crashing = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        monkeypatch.setattr(
+            pipeline_module, "classify_shard_rows", _raise_in_worker
+        )
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            crashing.run(workers=2, shard_size=16, use_shm=True)
+        assert attached_segment_names() == []
+
+    def test_empty_context_packs_into_minimal_segment(self):
+        context = AnalysisContext(
+            rirs=(),
+            max_leaf_length=24,
+            rib=RibSnapshot({}),
+            related_sets={},
+            assigned={},
+            leaf_keys={},
+            stats={},
+            leaves=None,
+        )
+        shared = SharedAnalysisContext.from_context(context)
+        try:
+            assert shared.total_leaves() == 0
+            assert len(shared.rib) == 0
+        finally:
+            shared.destroy()
+        assert attached_segment_names() == []
+
+
+def _raise_in_worker(payload, shard):
+    raise RuntimeError("injected worker failure")
+
+
+class TestPipelineModes:
+    @pytest.fixture(scope="class")
+    def serial_rows(self, world):
+        p = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        return _rows(p.run(workers=1))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"use_shm": True},
+            {"use_shm": True, "start_method": "fork"},
+            {"start_method": "spawn"},
+            {"use_shm": True, "start_method": "spawn"},
+        ],
+        ids=["shm", "shm-fork", "spawn", "shm-spawn"],
+    )
+    def test_mode_matches_serial(self, world, serial_rows, kwargs):
+        p = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        result = p.run(workers=2, shard_size=16, **kwargs)
+        assert _rows(result) == serial_rows
+        if kwargs.get("use_shm"):
+            assert p.shm_stats is not None
+            assert p.shm_stats["payload_bytes"] < 16 * 1024
+            assert p.shm_stats["segment_bytes"] > 0
+        assert attached_segment_names() == []
+
+    def test_measure_payload_without_shm(self, world, serial_rows):
+        p = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        p.measure_payload = True
+        result = p.run(workers=2, shard_size=16)
+        assert _rows(result) == serial_rows
+        assert p.shm_stats is not None
+        # the plain-context payload is the O(table) pickle the shm
+        # descriptor replaces
+        assert p.shm_stats["payload_bytes"] > 4 * 1024
+
+    def test_unknown_start_method_rejected(self, world):
+        p = LeaseInferencePipeline(
+            world.whois, world.routing_table, world.relationships,
+            world.as2org,
+        )
+        with pytest.raises(ValueError, match="start method"):
+            p.run(workers=2, shard_size=16, start_method="threads")
+
+    def test_run_sharded_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="start method"):
+            run_sharded((), _raise_in_worker, [4], 2, 2,
+                        start_method="nope")
+
+
+def _rows(result):
+    return [
+        (inf.rir, inf.prefix, inf.category, inf.leaf_origins,
+         inf.root_origins, inf.root_assigned_asns)
+        for inf in result
+    ]
