@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-xlarge bench-serve bench-stream report data clean
+.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-xlarge bench-serve bench-stream bench-temporal report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -45,6 +45,9 @@ bench-serve:
 
 bench-stream:
 	PYTHONPATH=src $(PYTHON) -m repro.cli stream --size large --out BENCH_stream.json
+
+bench-temporal:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-temporal --size small --epochs 12 --out BENCH_temporal.json
 
 report:
 	$(PYTHON) -m repro.cli report --out REPORT.md

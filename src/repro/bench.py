@@ -28,6 +28,7 @@ from __future__ import annotations
 import gc
 import json
 import platform
+import random
 import sys
 import time
 from pathlib import Path
@@ -53,6 +54,7 @@ from .simulation import (
     bench_world,
     build_world,
     bursts_from_replay,
+    evolve_world,
     render_replay_log,
     simulate_update_bursts,
 )
@@ -62,10 +64,12 @@ __all__ = [
     "STREAM_SCHEMA_VERSION",
     "all_equivalent",
     "append_trajectory",
+    "build_temporal_product",
     "load_trajectory",
     "run_benchmark",
     "run_stream_benchmark",
     "stream_from_args",
+    "temporal_from_args",
     "write_benchmark",
     "schema_shape",
 ]
@@ -868,6 +872,338 @@ def stream_from_args(args) -> int:
             f"single-update probe: {single['speedup_vs_rebuild']}x faster "
             "than a full rebuild"
         )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Temporal benchmark (BENCH_temporal.json)
+
+TEMPORAL_SCHEMA_VERSION = 1
+
+#: The evolution's default churn seed (distinct from the world seed so
+#: one world can carry many histories).
+DEFAULT_EVOLUTION_SEED = 20240404
+
+#: Point-in-time lookups sampled per temporal bench run.
+_TEMPORAL_QUERY_SAMPLES = 64
+
+
+def _index_image(index) -> Tuple[object, ...]:
+    """Everything observable through one index's query surface."""
+    return (
+        {str(p): index.exact(p) for p in index.prefixes()},
+        dict(index.origin_rows()),
+        index.category_tallies(),
+        index.leased_count,
+    )
+
+
+def build_temporal_product(
+    world,
+    context,
+    result,
+    epochs: int,
+    evolution_seed: int = DEFAULT_EVOLUTION_SEED,
+    checkpoint_interval: Optional[int] = None,
+):
+    """Evolve *world* and freeze the outcome as a TemporalProduct.
+
+    Returns ``(product, evolution, base_index, epoch_reports)`` —
+    everything the temporal benchmark, the serve command, and the CLI
+    history command need.  ``epoch_reports`` holds the incremental
+    engine's per-epoch :class:`BurstReport` rows (timing callers reuse
+    them instead of re-applying).
+    """
+    from .core.leaseindex import LeaseIndex
+    from .temporal import (
+        DEFAULT_CHECKPOINT_INTERVAL,
+        TemporalLeaseIndex,
+        TemporalProduct,
+        TimelineStore,
+        histories_from_updates,
+    )
+
+    candidates = [
+        key[0] for rir in context.rirs for key in context.leaf_keys[rir]
+    ]
+    rir_of = {
+        key[0]: rir.name
+        for rir in context.rirs
+        for key in context.leaf_keys[rir]
+    }
+    evolution = evolve_world(
+        world, candidates, epochs=epochs, seed=evolution_seed
+    )
+    engine = IncrementalEngine(context)
+    base = LeaseIndex.build(context, result)
+    epoch_changes = []
+    epoch_reports = []
+    for timestamp, burst in zip(
+        evolution.epoch_timestamps, evolution.epoch_bursts
+    ):
+        burst_report = engine.apply(list(burst))
+        epoch_reports.append(burst_report)
+        epoch_changes.append((timestamp, burst_report.changed))
+    interval = (
+        checkpoint_interval
+        if checkpoint_interval is not None
+        else DEFAULT_CHECKPOINT_INTERVAL
+    )
+    temporal_index = TemporalLeaseIndex.build(
+        context,
+        base,
+        evolution.base_timestamp,
+        epoch_changes,
+        checkpoint_interval=interval,
+    )
+    timelines = TimelineStore.build(
+        histories_from_updates(evolution.all_updates()),
+        evolution.archive,
+        rir_of,
+    )
+    product = TemporalProduct(
+        index=temporal_index,
+        timelines=timelines,
+        meta={
+            "evolution_seed": evolution_seed,
+            "epochs": epochs,
+            "targets": len(evolution.schedule),
+        },
+    )
+    return product, evolution, base, epoch_reports
+
+
+def _verify_timelines(product, evolution) -> bool:
+    """Inferred timelines must reproduce the generator's schedule."""
+    for prefix, entries in sorted(evolution.schedule.items()):
+        payload = product.timelines.history_payload(prefix)
+        if payload is None:
+            return False
+        want_leases = sum(1 for _, holder in entries if holder is not None)
+        want_gaps = sum(1 for _, holder in entries if holder is None)
+        want_lessees = sorted(
+            {holder for _, holder in entries if holder is not None}
+        )
+        if payload["lease_count"] != want_leases:
+            return False
+        if payload["as0_gaps"] != want_gaps:
+            return False
+        if payload["distinct_lessees"] != want_lessees:
+            return False
+    return True
+
+
+def run_temporal_benchmark(
+    size: str = "small",
+    seed: int = 20240401,
+    evolution_seed: int = DEFAULT_EVOLUTION_SEED,
+    epochs: int = 12,
+    checkpoint_interval: Optional[int] = None,
+    verify: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """One ``BENCH_temporal.json`` run: delta encoding vs naive history.
+
+    Builds the bench world, evolves *epochs* epochs of lease churn,
+    freezes the temporal index, and measures (a) point-in-time query
+    latency through the delta encoding and (b) encoded bytes per epoch
+    against the naive one-full-index-per-epoch baseline.  With
+    ``verify`` on, every epoch's delta-materialized view is checked
+    bit-identical to a from-scratch pipeline run over the identically
+    mutated routing table, and the inferred per-prefix timelines are
+    checked against the generator's ground-truth lease schedule.
+    """
+    from .temporal import index_encoded_bytes
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    say(f"[temporal] building {size} world (seed {seed}) ...")
+    world = build_world(bench_world(size, seed=seed))
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    started = time.perf_counter()
+    result = pipeline.run()
+    full_run_s = time.perf_counter() - started
+    context = pipeline.context
+    assert context is not None
+
+    say(f"[temporal] evolving {epochs} epochs of lease churn ...")
+    started = time.perf_counter()
+    product, evolution, base, epoch_reports = build_temporal_product(
+        world,
+        context,
+        result,
+        epochs=epochs,
+        evolution_seed=evolution_seed,
+        checkpoint_interval=checkpoint_interval,
+    )
+    build_s = time.perf_counter() - started
+
+    temporal_index = product.index
+    sizes = temporal_index.delta_encoded_bytes()
+    record_bytes = sizes["record_bytes"]
+    assert isinstance(record_bytes, list)
+
+    # Naive baseline: one full index per epoch (epoch 0 included) —
+    # measured over the *same* views, which verification below proves
+    # bit-identical to from-scratch builds.
+    naive_bytes = [
+        index_encoded_bytes(temporal_index.index_for_epoch(epoch))
+        for epoch in range(epochs + 1)
+    ]
+    base_bytes = int(str(sizes["base_bytes"]))
+    records_total = int(str(sizes["records_total_bytes"]))
+    delta_total = base_bytes + records_total
+    naive_total = sum(naive_bytes)
+
+    epoch_rows: List[Dict[str, object]] = []
+    for number, burst_report in enumerate(epoch_reports, 1):
+        epoch_rows.append({
+            "epoch": number,
+            "timestamp": evolution.epoch_timestamps[number - 1],
+            "updates": len(evolution.epoch_bursts[number - 1]),
+            "changed_rows": len(burst_report.changed),
+            "record_bytes": record_bytes[number - 1],
+            "naive_bytes": naive_bytes[number],
+        })
+
+    say("[temporal] sampling point-in-time queries ...")
+    rng = random.Random(evolution_seed)
+    span_start = evolution.base_timestamp
+    span_end = evolution.epoch_timestamps[-1] + 1
+    targets = sorted(evolution.schedule)
+    resolve_times: List[float] = []
+    for _probe in range(_TEMPORAL_QUERY_SAMPLES):
+        at = rng.randrange(span_start, span_end)
+        target = targets[rng.randrange(len(targets))]
+        started = time.perf_counter()
+        located = temporal_index.index_at(at)
+        assert located is not None
+        _epoch, view = located
+        view.resolve_text(str(target))
+        resolve_times.append(time.perf_counter() - started)
+
+    differential = True
+    timelines_ok = True
+    if verify:
+        say("[temporal] differential verify: every epoch vs rebuild ...")
+        mutated = clone_routing_table(world.routing_table)
+        from .core.leaseindex import LeaseIndex
+
+        for epoch in range(epochs + 1):
+            if epoch > 0:
+                replay_into_table(
+                    mutated, list(evolution.epoch_bursts[epoch - 1])
+                )
+            scratch_pipeline = LeaseInferencePipeline(
+                world.whois, mutated, world.relationships, world.as2org
+            )
+            scratch_result = scratch_pipeline.run()
+            assert scratch_pipeline.context is not None
+            scratch = LeaseIndex.build(
+                scratch_pipeline.context, scratch_result
+            )
+            identical = _index_image(scratch) == _index_image(
+                temporal_index.index_for_epoch(epoch)
+            )
+            differential = differential and identical
+            say(f"[temporal] epoch {epoch}: identical={identical}")
+        timelines_ok = _verify_timelines(product, evolution)
+        say(f"[temporal] timelines match ground truth: {timelines_ok}")
+
+    return {
+        "schema": {
+            "name": "BENCH_temporal",
+            "version": TEMPORAL_SCHEMA_VERSION,
+        },
+        "config": {
+            "size": size,
+            "seed": seed,
+            "evolution_seed": evolution_seed,
+            "epochs": epochs,
+            "checkpoint_interval": temporal_index.stats()[
+                "checkpoint_interval"
+            ],
+            "verify": verify,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": _cpu_count(),
+        },
+        "world": {
+            "classifiable_leaves": context.total_leaves(),
+            "routed_prefixes": world.routing_table.num_prefixes(),
+            "churn_targets": len(evolution.schedule),
+        },
+        "build": {
+            "full_run_s": round(full_run_s, 4),
+            "temporal_build_s": round(build_s, 4),
+        },
+        "epochs": epoch_rows,
+        "encoding": {
+            "base_bytes": base_bytes,
+            "records_total_bytes": records_total,
+            "delta_total_bytes": delta_total,
+            "naive_total_bytes": naive_total,
+            "delta_bytes_per_epoch": round(records_total / epochs, 1),
+            "naive_bytes_per_epoch": round(naive_total / (epochs + 1), 1),
+            "delta_vs_naive_ratio": round(delta_total / naive_total, 4),
+        },
+        "queries": {
+            "samples": len(resolve_times),
+            "avg_ms": round(
+                sum(resolve_times) / len(resolve_times) * 1000.0, 4
+            ),
+            "max_ms": round(max(resolve_times) * 1000.0, 4),
+        },
+        "verification": {
+            "differential_identical": differential,
+            "timelines_match_ground_truth": timelines_ok,
+        },
+    }
+
+
+def temporal_from_args(args) -> int:
+    """CLI entry: ``repro bench-temporal``."""
+    if args.size not in BENCH_SIZES:
+        print(f"unknown world size {args.size!r} "
+              f"(expected {', '.join(BENCH_SIZES)})")
+        return 2
+    if args.epochs < 1:
+        print(f"--epochs must be >= 1, got {args.epochs}")
+        return 2
+    report = run_temporal_benchmark(
+        size=args.size,
+        seed=args.seed,
+        evolution_seed=args.evolution_seed,
+        epochs=args.epochs,
+        checkpoint_interval=args.checkpoint_interval,
+        verify=not getattr(args, "no_verify", False),
+        log=print,
+    )
+    append_trajectory(
+        report, args.out, "BENCH_temporal", TEMPORAL_SCHEMA_VERSION
+    )
+    print(f"wrote {args.out}")
+    encoding = report["encoding"]
+    assert isinstance(encoding, dict)
+    print(
+        f"delta encoding: {encoding['delta_total_bytes']:,} bytes vs "
+        f"naive {encoding['naive_total_bytes']:,} "
+        f"(ratio {encoding['delta_vs_naive_ratio']})"
+    )
+    verification = report["verification"]
+    assert isinstance(verification, dict)
+    if not bool(verification["differential_identical"]):
+        print("FAIL: a historical view diverged from a from-scratch run")
+        return 1
+    if not bool(verification["timelines_match_ground_truth"]):
+        print("FAIL: inferred timelines diverged from the lease schedule")
+        return 1
     return 0
 
 

@@ -61,7 +61,7 @@ FROZEN_CLASSES: Dict[str, str] = {
     "AnalysisContext": "repro.core.context",
     "RibSnapshot": "repro.core.context",
     "RoaSnapshot": "repro.core.context",
-    "LeaseIndex": "repro.serve.index",
+    "LeaseIndex": "repro.core.leaseindex",
 }
 
 #: Call patterns that block the event loop: plain built-ins, and

@@ -29,13 +29,16 @@ ROOT_LAYER = "<root>"
 #: at any depth (module level or inside a function).  Same-layer
 #: imports and imports of the package root are always allowed.  The
 #: load-bearing absences: ``core`` lists neither ``serve`` nor ``cli``,
-#: and ``diagnostics`` does not list ``serve`` — the engine room and
-#: the auditors must never depend on their consumers.
+#: ``diagnostics`` does not list ``serve``, and ``temporal`` lists
+#: neither ``serve`` nor ``cli`` — the engine room, the auditors, and
+#: the time-travel subsystem must never depend on their consumers.
 LAYER_MAP: Dict[str, FrozenSet[str]] = {
     ROOT_LAYER: frozenset({"core", "net", "rir", "simulation"}),
     "abuse": frozenset(),
     "asdata": frozenset({"bgp"}),
-    "bench": frozenset({"cli", "core", "reporting", "simulation"}),
+    "bench": frozenset(
+        {"cli", "core", "reporting", "simulation", "temporal"}
+    ),
     "bgp": frozenset({"core", "net"}),
     "brokers": frozenset({"rir", "whois"}),
     "check": frozenset({"core", "diagnostics"}),
@@ -45,6 +48,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "check",
             "core",
             "diagnostics",
+            "net",
             "reporting",
             "serve",
             "simulation",
@@ -83,7 +87,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
     ),
     "rir": frozenset(),
     "rpki": frozenset({"net"}),
-    "serve": frozenset({"bench", "core", "net"}),
+    "serve": frozenset({"bench", "core", "net", "temporal"}),
     "simulation": frozenset(
         {
             "abuse",
@@ -97,6 +101,7 @@ LAYER_MAP: Dict[str, FrozenSet[str]] = {
             "whois",
         }
     ),
+    "temporal": frozenset({"bgp", "core", "net", "rpki"}),
     "whois": frozenset({"diagnostics", "net", "rir"}),
 }
 

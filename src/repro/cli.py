@@ -69,6 +69,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "bench": _cmd_bench,
         "stream": _cmd_stream,
+        "bench-temporal": _cmd_bench_temporal,
+        "history": _cmd_history,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
     }[args.command]
@@ -383,6 +385,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trajectory file to append to (default BENCH_stream.json)",
     )
 
+    def add_evolution_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--epochs",
+            type=int,
+            default=12,
+            help="lease-churn epochs to evolve (default 12)",
+        )
+        p.add_argument(
+            "--evolution-seed",
+            type=int,
+            default=20240404,
+            help="lease-churn seed (default 20240404)",
+        )
+
+    bench_temporal = sub.add_parser(
+        "bench-temporal",
+        help="measure the delta-encoded temporal index and write "
+        "BENCH_temporal.json",
+    )
+    bench_temporal.add_argument(
+        "--size",
+        default="small",
+        help="bench world size: small, medium, or large (default small)",
+    )
+    bench_temporal.add_argument(
+        "--seed", type=int, default=20240401, help="world seed"
+    )
+    add_evolution_options(bench_temporal)
+    bench_temporal.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        help="epochs between retained full views (default 8)",
+    )
+    bench_temporal.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-epoch differential check against full rebuilds",
+    )
+    bench_temporal.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_temporal.json"),
+        help="trajectory file to append to (default BENCH_temporal.json)",
+    )
+
+    history = sub.add_parser(
+        "history",
+        help="evolve lease churn and print a prefix's lease timeline",
+    )
+    add_scenario_options(history)
+    add_evolution_options(history)
+    history.add_argument(
+        "--prefix",
+        default=None,
+        help="CIDR to report (default: summarize every churned prefix)",
+    )
+    history.add_argument(
+        "--json",
+        action="store_true",
+        help="print the timeline payload as JSON",
+    )
+
     serve = sub.add_parser(
         "serve",
         help="serve lease lookups over HTTP from an inference snapshot",
@@ -402,6 +467,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="LRU response-cache capacity (default 1024)",
+    )
+    serve.add_argument(
+        "--temporal-epochs",
+        type=int,
+        default=None,
+        help="evolve this many lease-churn epochs and mount the "
+        "time-travel endpoints (scenario worlds only)",
+    )
+    serve.add_argument(
+        "--evolution-seed",
+        type=int,
+        default=20240404,
+        help="lease-churn seed for --temporal-epochs (default 20240404)",
     )
 
     loadgen = sub.add_parser(
@@ -565,6 +643,78 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return stream_from_args(args)
 
 
+def _cmd_bench_temporal(args: argparse.Namespace) -> int:
+    from .bench import temporal_from_args
+
+    return temporal_from_args(args)
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    """Evolve lease churn over a world and print §6.5 timelines."""
+    import json
+
+    from .bench import build_temporal_product
+    from .core import LeaseInferencePipeline
+    from .net import AddressError, Prefix
+
+    if args.epochs < 1:
+        print(f"--epochs must be >= 1, got {args.epochs}")
+        return 2
+    query = None
+    if args.prefix is not None:
+        try:
+            query = Prefix.parse(args.prefix)
+        except AddressError:
+            print(f"bad --prefix {args.prefix!r}")
+            return 2
+    world = build_world(_scenario(args))
+    pipeline = LeaseInferencePipeline(
+        world.whois, world.routing_table, world.relationships, world.as2org
+    )
+    result = pipeline.run()
+    product, _evolution, _base, _reports = build_temporal_product(
+        world,
+        pipeline.context,
+        result,
+        epochs=args.epochs,
+        evolution_seed=args.evolution_seed,
+    )
+    store = product.timelines
+    if query is not None:
+        payload = store.history_payload(query)
+        if payload is None:
+            print(f"no timeline tracked for {query} "
+                  f"(churned prefixes: {len(store)})")
+            return 1
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"lease timeline for {payload['prefix']} ({payload['rir']}):")
+        periods = payload["periods"]
+        assert isinstance(periods, list)
+        for period in periods:
+            end = period["end"] if period["end"] is not None else "..."
+            asns = ",".join(f"AS{a}" for a in period["bgp_asns"]) or "-"
+            print(f"  [{period['start']} .. {end}) "
+                  f"{period['kind']:<5} bgp={asns}")
+        lessees = payload["distinct_lessees"]
+        assert isinstance(lessees, list)
+        print(f"leases: {payload['lease_count']}, "
+              f"AS0 gaps: {payload['as0_gaps']}, "
+              f"lessees: {', '.join(f'AS{a}' for a in lessees)}")
+        return 0
+    if args.json:
+        print(json.dumps(store.churn_payload(), indent=2, sort_keys=True))
+        return 0
+    print(f"{len(store)} churned prefixes over {product.epochs} epochs:")
+    for prefix in store.prefixes():
+        payload = store.history_payload(prefix)
+        assert payload is not None
+        print(f"  {str(prefix):<20} leases={payload['lease_count']} "
+              f"as0_gaps={payload['as0_gaps']} rir={payload['rir']}")
+    return 0
+
+
 def _cmd_holders(args: argparse.Namespace) -> int:
     bundle = load_datasets(args.data)
     result = _infer_bundle(bundle)
@@ -683,10 +833,15 @@ def _cmd_rpki(args: argparse.Namespace) -> int:
 
 
 def _lease_index(args: argparse.Namespace, scenario=None):
-    """Build a :class:`LeaseIndex` snapshot from ``--data`` or a scenario."""
+    """Build a :class:`LeaseIndex` snapshot from ``--data`` or a scenario.
+
+    Returns ``(index, label, pipeline, result, world)``; *world* is None
+    when serving a ``--data`` directory (no scenario to evolve).
+    """
     from .core import LeaseInferencePipeline
     from .serve import LeaseIndex
 
+    world = None
     if getattr(args, "data", None) is not None:
         bundle = load_datasets(args.data)
         pipeline = LeaseInferencePipeline(
@@ -714,19 +869,47 @@ def _lease_index(args: argparse.Namespace, scenario=None):
         shard_size=getattr(args, "shard_size", None),
     )
     assert pipeline.context is not None
-    return LeaseIndex.build(pipeline.context, result), label
+    index = LeaseIndex.build(pipeline.context, result)
+    return index, label, pipeline, result, world
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DEFAULT_CACHE_SIZE, LeaseQueryServer, SnapshotManager
 
-    index, label = _lease_index(args)
+    epochs = getattr(args, "temporal_epochs", None)
+    if epochs is not None and epochs < 1:
+        print(f"--temporal-epochs must be >= 1, got {epochs}")
+        return 2
+    if epochs is not None and getattr(args, "data", None) is not None:
+        print("--temporal-epochs needs a scenario world (drop --data)")
+        return 2
+    index, label, pipeline, result, world = _lease_index(args)
+    temporal = None
+    if epochs is not None:
+        from .bench import build_temporal_product
+
+        assert world is not None
+        temporal, _evolution, _base, _reports = build_temporal_product(
+            world,
+            pipeline.context,
+            result,
+            epochs=epochs,
+            evolution_seed=args.evolution_seed,
+        )
+        print(
+            f"mounted temporal history: {temporal.epochs} epochs over "
+            f"{len(temporal.timelines)} churned prefixes"
+        )
     manager = SnapshotManager(index)
     cache_size = (
         args.cache_size if args.cache_size is not None else DEFAULT_CACHE_SIZE
     )
     server = LeaseQueryServer(
-        manager, host=args.host, port=args.port, cache_size=cache_size
+        manager,
+        host=args.host,
+        port=args.port,
+        cache_size=cache_size,
+        temporal=temporal,
     )
     return _serve_forever(server, index, label)
 
@@ -758,7 +941,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     from .serve.loadgen import SERVE_SCHEMA_VERSION
 
     scenario = None if args.data is not None else small_world(seed=args.seed)
-    index, label = _lease_index(args, scenario=scenario)
+    index, label, _pipeline, _result, _world = _lease_index(
+        args, scenario=scenario
+    )
     payload = run_loadgen(
         index,
         duration_s=args.duration,

@@ -8,12 +8,27 @@ Endpoints (all responses are JSON unless noted):
 * ``GET /v1/org/{handle}`` — every leaf held by the organisation,
 * ``POST /v1/bulk`` — batched prefix lookups
   (``{"prefixes": [...]}``, at most :data:`MAX_BULK` per call),
+* ``GET /v1/prefix/{cidr}/history`` — the prefix's lease timeline
+  (periods, AS0 gaps, lessees — §6.5), when a temporal product is
+  mounted,
+* ``GET /v1/churn[?rir=]`` — per-RIR lease-churn tallies,
 * ``GET /v1/stats`` — snapshot, cache, and per-endpoint counters,
 * ``GET /healthz`` — liveness plus the published generation,
 * ``GET /metrics`` — Prometheus-style text exposition.
 
+With a :class:`~repro.temporal.TemporalProduct` mounted, the three
+lookup endpoints accept ``?at=<unix timestamp>`` and answer from the
+delta-encoded historical view live at that instant; the response (and
+its ``ETag``) then carries the resolved epoch — ``"g{gen}@e{epoch}"``
+instead of ``"g{gen}"`` — so conditional GETs stay correct across both
+axes of change.  Query parameters are validated strictly: unknown
+names, non-integer / negative values, and out-of-range ``at``/``limit``
+are 400s, never silently ignored.
+
 Lookup responses are served through a bounded LRU cache keyed by
-``(generation, path)`` — a hot-reload implicitly invalidates it because
+``(generation, canonical target)`` — the canonical target includes the
+validated query parameters, so historical answers cache independently
+of live ones.  A hot-reload implicitly invalidates the cache because
 new generations never match old keys, while the LRU bound evicts stale
 generations' entries under pressure.  Per-endpoint request, error, and
 latency counters feed ``/v1/stats`` and ``/metrics``.
@@ -34,7 +49,9 @@ from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 from urllib.parse import unquote
 
-from .index import LeaseIndex, parse_asn_text
+from ..net import AddressError, Prefix
+from ..temporal import TemporalProduct
+from .index import MAX_LISTING, LeaseIndex, parse_asn_text
 from .reload import SnapshotManager
 
 __all__ = ["LeaseQueryServer", "DEFAULT_CACHE_SIZE", "MAX_BULK"]
@@ -59,11 +76,59 @@ _REASONS = {
 }
 
 
-def _etag_of(generation: int) -> str:
-    """The strong validator for one published generation."""
-    return f'"g{generation}"'
+def _etag_of(generation: int, epoch: Optional[int] = None) -> str:
+    """The strong validator: generation, plus the epoch for ``?at=``."""
+    if epoch is None:
+        return f'"g{generation}"'
+    return f'"g{generation}@e{epoch}"'
 
 Payload = Dict[str, object]
+
+#: Query parameters each query-accepting endpoint understands; anything
+#: else on the target is a 400, never silently dropped.
+_ALLOWED_PARAMS = {
+    "prefix": frozenset({"at"}),
+    "asn": frozenset({"at", "limit"}),
+    "org": frozenset({"at", "limit"}),
+    "churn": frozenset({"rir"}),
+}
+
+
+def _parse_query(
+    query: str, allowed: frozenset
+) -> Tuple[Optional[Dict[str, str]], Optional[str]]:
+    """Parse ``a=1&b=2`` strictly: ``(params, error)``."""
+    params: Dict[str, str] = {}
+    if not query:
+        return params, None
+    for part in query.split("&"):
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        name = unquote(name)
+        if name not in allowed:
+            return None, f"unknown query parameter: {name!r}"
+        if name in params:
+            return None, f"duplicate query parameter: {name!r}"
+        params[name] = unquote(value)
+    return params, None
+
+
+def _parse_int_param(
+    params: Dict[str, str], name: str
+) -> Tuple[Optional[int], Optional[str]]:
+    """A non-negative integer parameter: ``(value, error)``."""
+    text = params.get(name)
+    if text is None:
+        return None, None
+    stripped = text.strip()
+    digits = stripped[1:] if stripped[:1] == "-" else stripped
+    if not digits.isdigit():
+        return None, f"{name} must be an integer, got {text!r}"
+    value = int(stripped)
+    if value < 0:
+        return None, f"{name} must be non-negative, got {value}"
+    return value, None
 
 
 class ResponseCache:
@@ -150,10 +215,12 @@ class LeaseQueryServer:
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        temporal: Optional[TemporalProduct] = None,
     ) -> None:
         self.manager = manager
         self.host = host
         self.port = port
+        self.temporal = temporal
         self.cache = ResponseCache(cache_size)
         self.counters = EndpointCounters()
         self._server: Optional[asyncio.AbstractServer] = None
@@ -241,7 +308,7 @@ class LeaseQueryServer:
                     break
                 method, target, headers, body = request
                 try:
-                    status, payload, content_type, generation = (
+                    status, payload, content_type, validator = (
                         await self._dispatch(method, target, headers, body)
                     )
                 except Exception:  # noqa: BLE001 - request must get an answer
@@ -250,14 +317,17 @@ class LeaseQueryServer:
                         {"error": "internal server error"}
                     ).encode("utf-8")
                     content_type = "application/json"
-                    generation = None
+                    validator = None
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 extra_headers: Dict[str, str] = {}
-                if generation is not None:
-                    extra_headers["ETag"] = _etag_of(generation)
+                if validator is not None:
+                    generation, epoch = validator
+                    extra_headers["ETag"] = _etag_of(generation, epoch)
                     extra_headers["X-Generation"] = str(generation)
+                    if epoch is not None:
+                        extra_headers["X-Epoch"] = str(epoch)
                 await self._write_response(
                     writer, status, payload, content_type, keep_alive,
                     extra_headers,
@@ -332,28 +402,30 @@ class LeaseQueryServer:
     # -- routing -------------------------------------------------------------
     async def _dispatch(
         self, method: str, target: str, headers: Dict[str, str], body: bytes
-    ) -> Tuple[int, bytes, str, int]:
-        """Route one request: ``(status, body, content type, generation)``.
+    ) -> Tuple[int, bytes, str, Tuple[int, Optional[int]]]:
+        """Route one request: ``(status, body, content type, validator)``.
 
         The snapshot — and with it the generation stamped into the
         ``ETag``/``X-Generation`` headers — is captured exactly once per
         request, so a delta apply landing mid-flight never tears an
-        answer.  A conditional GET whose ``If-None-Match`` names the
-        current generation short-circuits to an empty 304 after routing
-        resolved a cacheable 200.
+        answer.  The returned validator is ``(generation, epoch)``;
+        epoch is None except for ``?at=`` answers, where it joins the
+        ETag as ``"g{gen}@e{epoch}"``.  A conditional GET whose
+        ``If-None-Match`` names the current validator short-circuits to
+        an empty 304 after routing resolved a cacheable 200.
         """
         started = time.perf_counter()
         generation, index = self.manager.snapshot()
         if self._snapshot_hold_s > 0:
             await asyncio.sleep(self._snapshot_hold_s)
-        path = target.split("?", 1)[0]
-        endpoint, status, payload, text = self._route(
-            method, path, body, generation, index
+        path, _, query = target.partition("?")
+        endpoint, status, payload, text, epoch = self._route(
+            method, path, query, body, generation, index
         )
         if (
             method == "GET"
             and status == 200
-            and headers.get("if-none-match") == _etag_of(generation)
+            and headers.get("if-none-match") == _etag_of(generation, epoch)
         ):
             status = 304
             rendered = b""
@@ -367,57 +439,176 @@ class LeaseQueryServer:
         self.counters.observe(
             endpoint, status, time.perf_counter() - started
         )
-        return status, rendered, content_type, generation
+        return status, rendered, content_type, (generation, epoch)
 
     def _route(
         self,
         method: str,
         path: str,
+        query: str,
         body: bytes,
         generation: int,
         index: LeaseIndex,
-    ) -> Tuple[str, int, Payload, Optional[str]]:
-        """``(endpoint, status, json payload, text payload)`` for *path*."""
+    ) -> Tuple[str, int, Payload, Optional[str], Optional[int]]:
+        """``(endpoint, status, json, text, epoch)`` for one target."""
         if path == "/__malformed__":
-            return "other", 400, {"error": "malformed request line"}, None
+            return "other", 400, {"error": "malformed request line"}, None, None
         if path == "/__too_large__":
-            return "other", 413, {"error": "request body too large"}, None
+            return "other", 413, {"error": "request body too large"}, None, None
         if path == "/healthz":
             if method != "GET":
-                return "health", 405, {"error": "use GET"}, None
+                return "health", 405, {"error": "use GET"}, None, None
             payload = {"status": "ok", "generation": generation}
-            return "health", 200, payload, None
+            return "health", 200, payload, None, None
         if path == "/metrics":
-            return "metrics", 200, {}, self._render_metrics(generation, index)
+            text = self._render_metrics(generation, index)
+            return "metrics", 200, {}, text, None
         if path == "/v1/stats":
-            return "stats", 200, self._render_stats(generation, index), None
+            payload = self._render_stats(generation, index)
+            return "stats", 200, payload, None, None
+        if path == "/v1/churn":
+            status, payload = self._answer_churn(generation, query)
+            return "churn", status, payload, None, None
+        if path.startswith("/v1/prefix/") and path.endswith("/history"):
+            text = unquote(path[len("/v1/prefix/"):-len("/history")])
+            if query:
+                return (
+                    "history", 400,
+                    self._bad_query("history takes no query parameters",
+                                    generation),
+                    None, None,
+                )
+            status, payload = self._cached(
+                generation, path, "history",
+                lambda: self._answer_history(generation, text),
+            )
+            return "history", status, payload, None, None
         if path.startswith("/v1/prefix/"):
             text = unquote(path[len("/v1/prefix/"):])
-            status, payload = self._cached(
-                generation, path, "prefix",
-                lambda: self._answer_prefix(index, generation, text),
+            return self._lookup(
+                "prefix", path, query, generation, index,
+                lambda view: lambda: self._answer_prefix(
+                    view, generation, text
+                ),
             )
-            return "prefix", status, payload, None
         if path.startswith("/v1/asn/"):
             text = unquote(path[len("/v1/asn/"):])
-            status, payload = self._cached(
-                generation, path, "asn",
-                lambda: self._answer_asn(index, generation, text),
+            return self._lookup(
+                "asn", path, query, generation, index,
+                lambda view, limit=None: lambda: self._answer_asn(
+                    view, generation, text, limit
+                ),
             )
-            return "asn", status, payload, None
         if path.startswith("/v1/org/"):
             text = unquote(path[len("/v1/org/"):])
-            status, payload = self._cached(
-                generation, path, "org",
-                lambda: self._answer_org(index, generation, text),
+            return self._lookup(
+                "org", path, query, generation, index,
+                lambda view, limit=None: lambda: self._answer_org(
+                    view, generation, text, limit
+                ),
             )
-            return "org", status, payload, None
         if path == "/v1/bulk":
             if method != "POST":
-                return "bulk", 405, {"error": "use POST"}, None
+                return "bulk", 405, {"error": "use POST"}, None, None
+            if query:
+                return (
+                    "bulk", 400,
+                    self._bad_query("bulk takes no query parameters",
+                                    generation),
+                    None, None,
+                )
             status, payload = self._answer_bulk(index, generation, body)
-            return "bulk", status, payload, None
-        return "other", 404, {"error": f"no such endpoint: {path}"}, None
+            return "bulk", status, payload, None, None
+        return "other", 404, {"error": f"no such endpoint: {path}"}, None, None
+
+    def _bad_query(self, message: str, generation: int) -> Payload:
+        return {"error": message, "generation": generation}
+
+    def _lookup(
+        self,
+        endpoint: str,
+        path: str,
+        query: str,
+        generation: int,
+        index: LeaseIndex,
+        make_compute,
+    ) -> Tuple[str, int, Payload, Optional[str], Optional[int]]:
+        """One validated live-or-historical lookup on an index endpoint.
+
+        Validates the query parameters strictly (unknown name, bad
+        integer, out-of-range value → 400), resolves ``?at=`` to an
+        epoch view when given, and serves through the LRU under a
+        canonical cache target that includes the validated parameters.
+        """
+        params, error = _parse_query(query, _ALLOWED_PARAMS[endpoint])
+        if params is None:
+            assert error is not None
+            return (
+                endpoint, 400, self._bad_query(error, generation), None, None,
+            )
+        at, error = _parse_int_param(params, "at")
+        if error is not None:
+            return (
+                endpoint, 400, self._bad_query(error, generation), None, None,
+            )
+        limit, error = _parse_int_param(params, "limit")
+        if error is not None:
+            return (
+                endpoint, 400, self._bad_query(error, generation), None, None,
+            )
+        if limit is not None and not 1 <= limit <= MAX_LISTING:
+            return (
+                endpoint, 400,
+                self._bad_query(
+                    f"limit must be between 1 and {MAX_LISTING}, got {limit}",
+                    generation,
+                ),
+                None, None,
+            )
+        view = index
+        epoch: Optional[int] = None
+        if at is not None:
+            if self.temporal is None:
+                return (
+                    endpoint, 400,
+                    self._bad_query(
+                        "no temporal history mounted; ?at= unavailable",
+                        generation,
+                    ),
+                    None, None,
+                )
+            located = self.temporal.index.index_at(at)
+            if located is None:
+                first = self.temporal.epoch_timestamps()[0]
+                return (
+                    endpoint, 400,
+                    self._bad_query(
+                        f"at={at} precedes recorded history "
+                        f"(first epoch at {first})",
+                        generation,
+                    ),
+                    None, None,
+                )
+            epoch, view = located
+        cache_target = path
+        if at is not None:
+            cache_target += f"?at_epoch={epoch}"
+        if limit is not None:
+            cache_target += f"&limit={limit}" if "?" in cache_target else (
+                f"?limit={limit}"
+            )
+        compute = (
+            make_compute(view) if endpoint == "prefix"
+            else make_compute(view, limit)
+        )
+        status, payload = self._cached(
+            generation, cache_target, endpoint, compute
+        )
+        if epoch is not None and "epoch" not in payload:
+            payload = dict(payload)
+            payload["epoch"] = epoch
+            payload["at"] = at
+        return endpoint, status, payload, None, epoch
 
     def _cached(
         self,
@@ -443,13 +634,17 @@ class LeaseQueryServer:
         return status, payload
 
     def _answer_asn(
-        self, index: LeaseIndex, generation: int, text: str
+        self,
+        index: LeaseIndex,
+        generation: int,
+        text: str,
+        limit: Optional[int] = None,
     ) -> Tuple[int, Payload]:
         asn = parse_asn_text(text)
         if asn is None:
             return 400, {"error": f"bad ASN: {text!r}",
                          "generation": generation}
-        listing = index.by_asn(asn)
+        listing = index.by_asn(asn, limit=limit)
         if listing is None:
             return 404, {
                 "error": "AS originates no classified leaf",
@@ -460,12 +655,16 @@ class LeaseQueryServer:
         return 200, listing
 
     def _answer_org(
-        self, index: LeaseIndex, generation: int, text: str
+        self,
+        index: LeaseIndex,
+        generation: int,
+        text: str,
+        limit: Optional[int] = None,
     ) -> Tuple[int, Payload]:
         if not text.strip():
             return 400, {"error": "empty organisation handle",
                          "generation": generation}
-        listing = index.by_org(text)
+        listing = index.by_org(text, limit=limit)
         if listing is None:
             return 404, {
                 "error": "organisation holds no classified leaf",
@@ -505,14 +704,63 @@ class LeaseQueryServer:
             results.append({"status": status, "result": payload})
         return 200, {"generation": generation, "results": results}
 
+    def _answer_history(
+        self, generation: int, text: str
+    ) -> Tuple[int, Payload]:
+        """``/v1/prefix/{p}/history``: the prefix's lease timeline."""
+        if self.temporal is None:
+            return 400, {"error": "no temporal history mounted",
+                         "generation": generation}
+        try:
+            prefix = Prefix.parse(text)
+        except AddressError:
+            return 400, {"error": f"bad prefix: {text!r}",
+                         "generation": generation}
+        payload = self.temporal.timelines.history_payload(prefix)
+        if payload is None:
+            return 404, {
+                "error": "no timeline tracked for prefix",
+                "query": str(prefix),
+                "generation": generation,
+            }
+        payload["generation"] = generation
+        return 200, payload
+
+    def _answer_churn(
+        self, generation: int, query: str
+    ) -> Tuple[int, Payload]:
+        """``/v1/churn[?rir=]``: per-RIR lease-churn tallies."""
+        if self.temporal is None:
+            return 400, {"error": "no temporal history mounted",
+                         "generation": generation}
+        params, error = _parse_query(query, _ALLOWED_PARAMS["churn"])
+        if params is None:
+            assert error is not None
+            return 400, self._bad_query(error, generation)
+        rir = params.get("rir")
+        if rir is not None and not rir.strip():
+            return 400, self._bad_query("empty rir parameter", generation)
+        payload = self.temporal.timelines.churn_payload(rir)
+        if payload is None:
+            return 404, {
+                "error": f"no timelines for RIR {rir!r}",
+                "rirs": self.temporal.timelines.rirs(),
+                "generation": generation,
+            }
+        payload["generation"] = generation
+        return 200, payload
+
     # -- observability -------------------------------------------------------
     def _render_stats(self, generation: int, index: LeaseIndex) -> Payload:
-        return {
+        payload: Payload = {
             "generation": generation,
             "snapshot": index.stats(),
             "cache": self.cache.stats(),
             "endpoints": self.counters.as_dict(),
         }
+        if self.temporal is not None:
+            payload["temporal"] = self.temporal.stats()
+        return payload
 
     def _render_metrics(self, generation: int, index: LeaseIndex) -> str:
         lines = [
@@ -522,6 +770,10 @@ class LeaseQueryServer:
             f"repro_serve_cache_misses_total {self.cache.misses}",
             f"repro_serve_cache_evictions_total {self.cache.evictions}",
         ]
+        if self.temporal is not None:
+            lines.append(
+                f"repro_serve_temporal_epochs {self.temporal.epochs}"
+            )
         for endpoint, entry in self.counters.as_dict().items():
             label = f'{{endpoint="{endpoint}"}}'
             lines.append(

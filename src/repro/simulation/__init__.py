@@ -14,6 +14,11 @@ from .scenario import (
     paper_world,
     small_world,
 )
+from .evolution import (
+    DEFAULT_EPOCH_INTERVAL_S,
+    WorldEvolution,
+    evolve_world,
+)
 from .stream import (
     DEFAULT_STREAM_START,
     bursts_from_replay,
@@ -25,6 +30,7 @@ from .world import FeaturedPrefix, World, WorldBuilder, build_world
 __all__ = [
     "BENCH_SIZES",
     "DEFAULT_BENCH_SIZES",
+    "DEFAULT_EPOCH_INTERVAL_S",
     "DEFAULT_STREAM_START",
     "FeaturedPrefix",
     "GroundTruth",
@@ -37,6 +43,8 @@ __all__ = [
     "TruthKind",
     "World",
     "WorldBuilder",
+    "WorldEvolution",
+    "evolve_world",
     "build_geo_databases",
     "build_route_registry",
     "build_world",

@@ -1,0 +1,34 @@
+"""Time-travel attribution: delta-encoded history of the lease index.
+
+The temporal subsystem freezes a run's evolution into two queryable
+artifacts — :class:`TemporalLeaseIndex` (point-in-time attribution
+snapshots, delta-encoded against one shared base) and
+:class:`TimelineStore` (per-prefix lease timelines with per-RIR churn
+tallies) — bundled as a :class:`TemporalProduct` for the serving layer.
+
+Layering: temporal builds on ``core``, ``bgp``, ``rpki``, and ``net``;
+it never imports ``serve`` or ``cli`` (they import *it*).
+"""
+
+from .index import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    DEFAULT_VIEW_CACHE,
+    EpochRecord,
+    EpochSkipList,
+    TemporalLeaseIndex,
+    index_encoded_bytes,
+)
+from .product import TemporalProduct
+from .timeline import TimelineStore, histories_from_updates
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_VIEW_CACHE",
+    "EpochRecord",
+    "EpochSkipList",
+    "TemporalLeaseIndex",
+    "TemporalProduct",
+    "TimelineStore",
+    "histories_from_updates",
+    "index_encoded_bytes",
+]

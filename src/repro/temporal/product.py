@@ -1,0 +1,61 @@
+"""The bundle the serving layer mounts for time-travel queries.
+
+A :class:`TemporalProduct` pairs the delta-encoded
+:class:`~repro.temporal.index.TemporalLeaseIndex` (answers "what did
+attribution say at time *t*?") with the
+:class:`~repro.temporal.timeline.TimelineStore` (answers "what happened
+to this prefix over time?").  The serving layer treats it as one
+immutable value: swapping in a new product is a single reference
+assignment, the same discipline the snapshot manager applies to the
+live index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .index import TemporalLeaseIndex
+from .timeline import TimelineStore
+
+__all__ = ["TemporalProduct"]
+
+
+@dataclass(frozen=True)
+class TemporalProduct:
+    """Immutable time-travel state served alongside the live index."""
+
+    index: TemporalLeaseIndex
+    timelines: TimelineStore
+    #: Free-form provenance (world seed, epoch count, builder version).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def epochs(self) -> int:
+        """Number of change epochs beyond the base snapshot."""
+        return self.index.epochs
+
+    def epoch_timestamps(self) -> Tuple[int, ...]:
+        """Epoch boundary timestamps, base first, ascending."""
+        return tuple(self.index.timestamps())
+
+    def locate(self, timestamp: int) -> Optional[int]:
+        """Epoch number in effect at *timestamp* (None = before base)."""
+        return self.index.locate(timestamp)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON summary for ``/v1/stats`` and diagnostics."""
+        sizes = self.index.delta_encoded_bytes()
+        payload: Dict[str, object] = {
+            "epochs": self.epochs,
+            "timeline_prefixes": len(self.timelines),
+            "rirs": self.timelines.rirs(),
+            "encoding": sizes,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        return payload
+
+    def rir_churn(self) -> List[str]:
+        """RIR buckets available to ``/v1/churn?rir=``."""
+        return self.timelines.rirs()

@@ -1,0 +1,222 @@
+"""Lease timelines as a served product: the §6.5 story per prefix.
+
+:func:`repro.core.timeline.build_timeline` merges one prefix's BGP
+origin history with the RPKI archive into Fig.-3 periods;
+:class:`TimelineStore` materializes that for **every** tracked prefix
+once, up front, and freezes the results into JSON-ready payloads — the
+backing store of ``GET /v1/prefix/{p}/history`` and ``GET /v1/churn``.
+
+The store also aggregates the longitudinal §6.5 metrics the paper
+computes offline — lease counts and durations, AS0-ROA gaps between
+leases, distinct lessees, turnover — per RIR, so churn queries answer
+from precomputed tallies instead of walking timelines per request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from ..bgp.history import AnnounceUpdate, Update
+from ..bgp.updates import SequencedUpdate
+from ..core.timeline import (
+    BgpOriginHistory,
+    PeriodKind,
+    PrefixTimeline,
+    build_timeline,
+)
+from ..net import Prefix
+from ..rpki.archive import RpkiArchive
+
+__all__ = ["TimelineStore", "histories_from_updates"]
+
+Payload = Dict[str, object]
+
+#: RIR bucket for prefixes the base index cannot attribute.
+_UNKNOWN_RIR = "UNKNOWN"
+
+
+def histories_from_updates(
+    updates: Iterable[Union[Update, SequencedUpdate]],
+) -> Dict[Prefix, BgpOriginHistory]:
+    """Replay one mixed update feed into per-prefix origin histories.
+
+    Single pass over the whole feed (updates must already be in time
+    order, as generated feeds are), with the same per-peer semantics as
+    :meth:`repro.bgp.history.UpdateStream.origin_history`: an announce
+    replaces the peer's previous origin for the prefix, a withdraw
+    removes it, and one observation is recorded per (prefix, timestamp)
+    with the origin set *after* all of that timestamp's messages.
+    """
+    current: Dict[Prefix, Set[int]] = {}
+    origin_of_peer: Dict[Tuple[Prefix, int, str], int] = {}
+    pending: Dict[Prefix, int] = {}
+    histories: Dict[Prefix, BgpOriginHistory] = {}
+
+    def flush(prefix: Prefix) -> None:
+        timestamp = pending.pop(prefix, None)
+        if timestamp is None:
+            return
+        history = histories.setdefault(prefix, BgpOriginHistory())
+        history.add_observation(
+            timestamp, frozenset(current.get(prefix, ()))
+        )
+
+    for item in updates:
+        update = item.update if isinstance(item, SequencedUpdate) else item
+        prefix = update.prefix
+        held = pending.get(prefix)
+        if held is not None and held != update.timestamp:
+            flush(prefix)
+        key = (prefix, update.peer_asn, update.peer_address)
+        origins = current.setdefault(prefix, set())
+        if isinstance(update, AnnounceUpdate):
+            previous = origin_of_peer.get(key)
+            if previous is not None:
+                origins.discard(previous)
+            origin_of_peer[key] = update.origin
+            origins.add(update.origin)
+        else:
+            previous = origin_of_peer.pop(key, None)
+            if previous is not None:
+                origins.discard(previous)
+        pending[prefix] = update.timestamp
+    for prefix in sorted(pending):
+        flush(prefix)
+    return histories
+
+
+class TimelineStore:
+    """Frozen per-prefix lease timelines with per-RIR churn tallies."""
+
+    def __init__(
+        self,
+        timelines: Dict[Prefix, PrefixTimeline],
+        rir_of: Mapping[Prefix, str],
+    ) -> None:
+        self._timelines = dict(timelines)
+        self._rir_of = {
+            prefix: rir_of.get(prefix, _UNKNOWN_RIR)
+            for prefix in self._timelines
+        }
+        self._churn_by_rir = self._tally_churn()
+
+    @classmethod
+    def build(
+        cls,
+        histories: Mapping[Prefix, BgpOriginHistory],
+        archive: RpkiArchive,
+        rir_of: Optional[Mapping[Prefix, str]] = None,
+    ) -> "TimelineStore":
+        """Materialize one timeline per history against *archive*."""
+        timelines = {
+            prefix: build_timeline(prefix, history, archive)
+            for prefix, history in histories.items()
+        }
+        return cls(timelines, rir_of or {})
+
+    # -- shape -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._timelines)
+
+    def prefixes(self) -> List[Prefix]:
+        """Every tracked prefix, sorted."""
+        return sorted(self._timelines)
+
+    def rirs(self) -> List[str]:
+        """Every RIR bucket with at least one timeline, sorted."""
+        return sorted(self._churn_by_rir)
+
+    def timeline(self, prefix: Prefix) -> Optional[PrefixTimeline]:
+        """The raw timeline object, for reporting/figures callers."""
+        return self._timelines.get(prefix)
+
+    # -- serving payloads ---------------------------------------------------
+    def history_payload(self, prefix: Prefix) -> Optional[Payload]:
+        """The ``/v1/prefix/{p}/history`` answer, or None when untracked."""
+        timeline = self._timelines.get(prefix)
+        if timeline is None:
+            return None
+        durations = timeline.lease_durations()
+        return {
+            "prefix": str(prefix),
+            "rir": self._rir_of.get(prefix, _UNKNOWN_RIR),
+            "periods": [
+                {
+                    "start": period.start,
+                    "end": period.end,
+                    "kind": period.kind.value,
+                    "rpki_asns": sorted(period.rpki_asns),
+                    "bgp_asns": sorted(period.bgp_asns),
+                }
+                for period in timeline.periods
+            ],
+            "lease_count": timeline.lease_count(),
+            "as0_gaps": len(timeline.as0_periods()),
+            "distinct_lessees": sorted(timeline.distinct_lessee_asns()),
+            "lease_durations_s": durations,
+            "median_lease_duration_s": timeline.median_lease_duration(),
+        }
+
+    def churn_payload(self, rir: Optional[str] = None) -> Optional[Payload]:
+        """The ``/v1/churn`` answer: one RIR's tallies, or all of them.
+
+        Returns None when *rir* names a bucket with no timelines —
+        the serving layer turns that into a 404.
+        """
+        if rir is not None:
+            entry = self._churn_by_rir.get(rir.strip().upper())
+            if entry is None:
+                return None
+            return dict(entry)
+        return {
+            "prefixes": len(self._timelines),
+            "rirs": {
+                name: dict(entry)
+                for name, entry in sorted(self._churn_by_rir.items())
+            },
+        }
+
+    # -- aggregation --------------------------------------------------------
+    def _tally_churn(self) -> Dict[str, Payload]:
+        """Per-RIR lease-churn tallies (computed once at build)."""
+        counts: Dict[str, Dict[str, int]] = {}
+        durations: Dict[str, List[int]] = {}
+        lessees: Dict[str, Set[int]] = {}
+        for prefix, timeline in sorted(self._timelines.items()):
+            rir = self._rir_of.get(prefix, _UNKNOWN_RIR)
+            entry = counts.setdefault(
+                rir,
+                {
+                    "prefixes": 0,
+                    "lease_periods": 0,
+                    "closed_leases": 0,
+                    "as0_gaps": 0,
+                    "turnovers": 0,
+                },
+            )
+            leases = timeline.lease_periods()
+            closed = timeline.lease_durations()
+            entry["prefixes"] += 1
+            entry["lease_periods"] += len(leases)
+            entry["as0_gaps"] += len(timeline.as0_periods())
+            entry["turnovers"] += max(0, len(leases) - 1)
+            entry["closed_leases"] += len(closed)
+            durations.setdefault(rir, []).extend(closed)
+            lessees.setdefault(rir, set()).update(
+                timeline.distinct_lessee_asns()
+            )
+        buckets: Dict[str, Payload] = {}
+        for rir, entry in counts.items():
+            pool = sorted(durations.get(rir, []))
+            payload: Payload = {"rir": rir}
+            payload.update(entry)
+            payload["median_lease_duration_s"] = (
+                pool[len(pool) // 2] if pool else None
+            )
+            payload["distinct_lessees"] = len(lessees.get(rir, set()))
+            buckets[rir] = payload
+        return buckets
+
+    # The period kinds the payloads surface, re-exported so serving
+    # tests can assert against the enum without importing core.
+    KINDS = tuple(kind.value for kind in PeriodKind)

@@ -307,3 +307,56 @@ class TestPipelineStats:
         assert sum(s["classifiable"] for s in stats.values()) == (
             result.total_classified()
         )
+
+
+class TestTemporalCli:
+    def test_history_listing(self, capsys):
+        assert main(["history", "--small", "--epochs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "churned prefixes over 2 epochs" in out
+
+    def test_history_single_prefix_json(self, capsys):
+        import json
+
+        assert main(["history", "--small", "--epochs", "2"]) == 0
+        listing = capsys.readouterr().out.splitlines()
+        prefix = listing[1].split()[0]
+        assert main(
+            ["history", "--small", "--epochs", "2",
+             "--prefix", prefix, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["prefix"] == prefix
+        assert payload["lease_count"] >= 1
+        assert payload["periods"]
+
+    def test_history_rejects_bad_prefix(self, capsys):
+        assert main(
+            ["history", "--small", "--prefix", "not-a-prefix"]
+        ) == 2
+        assert "bad --prefix" in capsys.readouterr().out
+
+    def test_history_untracked_prefix(self, capsys):
+        assert main(
+            ["history", "--small", "--epochs", "2",
+             "--prefix", "203.0.113.0/24"]
+        ) == 1
+        assert "no timeline tracked" in capsys.readouterr().out
+
+    def test_bench_temporal_writes_trajectory(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_temporal.json"
+        assert main(
+            ["bench-temporal", "--size", "small", "--epochs", "2",
+             "--out", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"]["name"] == "BENCH_temporal"
+        run = payload["runs"][-1]
+        assert run["verification"]["differential_identical"] is True
+        assert run["verification"]["timelines_match_ground_truth"] is True
+        assert (
+            run["encoding"]["delta_total_bytes"]
+            < run["encoding"]["naive_total_bytes"]
+        )

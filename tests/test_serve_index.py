@@ -119,7 +119,7 @@ class TestInvertedLookups:
         full = index.by_org(org)
         assert full["total"] >= 2, "small world should repeat holders"
         assert full["truncated"] is False
-        monkeypatch.setattr("repro.serve.index.MAX_LISTING", 1)
+        monkeypatch.setattr("repro.core.leaseindex.MAX_LISTING", 1)
         cut = index.by_org(org)
         assert cut["truncated"] is True
         assert len(cut["answers"]) == 1

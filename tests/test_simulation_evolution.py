@@ -1,0 +1,174 @@
+"""Tests for the seeded multi-epoch lease-churn evolution."""
+
+import pytest
+
+from repro.bgp.history import AnnounceUpdate, WithdrawUpdate
+from repro.rpki.roa import AS0
+from repro.simulation import (
+    DEFAULT_EPOCH_INTERVAL_S,
+    build_world,
+    evolve_world,
+    small_world,
+)
+
+EPOCHS = 6
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(small_world())
+
+
+@pytest.fixture(scope="module")
+def candidates(world):
+    return [prefix for prefix, _origins in world.routing_table.items()]
+
+
+@pytest.fixture(scope="module")
+def evolution(world, candidates):
+    return evolve_world(world, candidates, epochs=EPOCHS, seed=SEED)
+
+
+def _signature(evolution):
+    """A comparable rendering of everything the evolution generated."""
+    updates = []
+    for item in evolution.all_updates():
+        update = item.update
+        if isinstance(update, AnnounceUpdate):
+            updates.append(
+                ("A", update.timestamp, str(update.prefix), update.origin)
+            )
+        else:
+            updates.append(("W", update.timestamp, str(update.prefix)))
+    schedule = {
+        str(prefix): entries
+        for prefix, entries in evolution.schedule.items()
+    }
+    return updates, schedule
+
+
+class TestShape:
+    def test_epoch_rail(self, evolution):
+        assert evolution.epochs == EPOCHS
+        assert len(evolution.epoch_timestamps) == EPOCHS
+        assert len(evolution.epoch_bursts) == EPOCHS
+        expected = [
+            evolution.base_timestamp + n * DEFAULT_EPOCH_INTERVAL_S
+            for n in range(1, EPOCHS + 1)
+        ]
+        assert list(evolution.epoch_timestamps) == expected
+
+    def test_every_epoch_carries_churn(self, evolution):
+        for burst in evolution.epoch_bursts:
+            assert len(burst) >= 1
+
+    def test_base_burst_covers_every_target(self, evolution):
+        announced = {item.update.prefix for item in evolution.base_burst}
+        assert announced == set(evolution.schedule)
+        for item in evolution.base_burst:
+            assert isinstance(item.update, AnnounceUpdate)
+            assert item.update.timestamp == evolution.base_timestamp
+
+    def test_archive_has_one_snapshot_per_epoch(self, evolution):
+        assert len(evolution.archive) == EPOCHS + 1
+        assert evolution.archive.timestamps() == [
+            evolution.base_timestamp,
+            *evolution.epoch_timestamps,
+        ]
+
+
+class TestSchedule:
+    def test_opens_leased_and_alternates(self, evolution):
+        for prefix, entries in evolution.schedule.items():
+            start, holder = entries[0]
+            assert start == evolution.base_timestamp
+            assert holder is not None
+            for (_, before), (_, after) in zip(entries, entries[1:]):
+                # LEASED <-> GAP strict alternation: every lease change
+                # passes through an AS0 gap (the paper's §6.5 signature).
+                assert (before is None) != (after is None)
+
+    def test_consecutive_lessees_differ(self, evolution):
+        for entries in evolution.schedule.values():
+            holders = [asn for _, asn in entries if asn is not None]
+            for before, after in zip(holders, holders[1:]):
+                assert before != after
+
+    def test_change_timestamps_on_the_epoch_rail(self, evolution):
+        rail = {evolution.base_timestamp, *evolution.epoch_timestamps}
+        for entries in evolution.schedule.values():
+            stamps = [ts for ts, _ in entries]
+            assert stamps == sorted(set(stamps))
+            assert set(stamps) <= rail
+
+    def test_counts_match_schedule(self, evolution):
+        leases = evolution.lease_counts()
+        gaps = evolution.gap_counts()
+        for prefix, entries in evolution.schedule.items():
+            assert leases[prefix] == sum(
+                1 for _, asn in entries if asn is not None
+            )
+            assert gaps[prefix] == sum(
+                1 for _, asn in entries if asn is None
+            )
+
+
+class TestRoaConsistency:
+    def test_snapshots_track_the_schedule(self, evolution):
+        """At each epoch the ROA names the lessee, or AS0 in a gap."""
+        for timestamp in (
+            evolution.base_timestamp,
+            *evolution.epoch_timestamps,
+        ):
+            snapshot = evolution.archive.snapshot_at(timestamp)
+            assert snapshot is not None
+            for prefix, entries in evolution.schedule.items():
+                holder = None
+                for ts, asn in entries:
+                    if ts <= timestamp:
+                        holder = asn
+                expected = AS0 if holder is None else holder
+                # covering() also returns less-specific targets' ROAs;
+                # the schedule speaks about the exact prefix only.
+                exact = [
+                    roa
+                    for roa in snapshot.covering(prefix)
+                    if roa.prefix == prefix
+                ]
+                assert {roa.asn for roa in exact} == {expected}
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self, world, candidates):
+        first = evolve_world(world, candidates, epochs=EPOCHS, seed=SEED)
+        second = evolve_world(world, candidates, epochs=EPOCHS, seed=SEED)
+        assert _signature(first) == _signature(second)
+
+    def test_different_seed_different_history(self, world, candidates):
+        first = evolve_world(world, candidates, epochs=EPOCHS, seed=1)
+        second = evolve_world(world, candidates, epochs=EPOCHS, seed=2)
+        assert _signature(first) != _signature(second)
+
+
+class TestValidation:
+    def test_rejects_zero_epochs(self, world, candidates):
+        with pytest.raises(ValueError, match="epochs"):
+            evolve_world(world, candidates, epochs=0, seed=SEED)
+
+    def test_rejects_bad_interval(self, world, candidates):
+        with pytest.raises(ValueError, match="epoch_interval"):
+            evolve_world(
+                world, candidates, epochs=1, seed=SEED, epoch_interval=0
+            )
+
+    def test_rejects_empty_candidates(self, world):
+        with pytest.raises(ValueError, match="candidates"):
+            evolve_world(world, [], epochs=1, seed=SEED)
+
+    def test_withdraws_and_announces_only(self, evolution):
+        for burst in evolution.epoch_bursts:
+            for item in burst:
+                assert isinstance(
+                    item.update, (AnnounceUpdate, WithdrawUpdate)
+                )
