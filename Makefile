@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage lint check ratchet-update docs bench bench-pipeline bench-xlarge bench-serve bench-stream bench-temporal report data clean
+.PHONY: install test coverage lint check check-warm ratchet-update docs bench bench-pipeline bench-xlarge bench-serve bench-stream bench-temporal report data clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -19,6 +19,15 @@ lint: check
 check:
 	PYTHONPATH=src $(PYTHON) -m repro.cli check --fail-on warning
 	PYTHONPATH=src $(PYTHON) -m repro.check.ratchet compare
+
+# Prove the warm cache path is actually exercised: run check twice and
+# assert the second run reused at least one cached module.
+check-warm:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check --fail-on never >/dev/null
+	PYTHONPATH=src $(PYTHON) -m repro.cli check --fail-on never --format json --stats \
+		| $(PYTHON) -c "import json,sys; d=json.load(sys.stdin); \
+assert d['cache']['reused'] > 0, d.get('cache'); \
+print('warm cache OK: reused', d['cache']['reused'], 'modules,', d['cache']['analyzed'], 'analyzed')"
 
 ratchet-update:
 	PYTHONPATH=src $(PYTHON) -m repro.check.ratchet update

@@ -24,7 +24,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..diagnostics.model import Severity
-from .model import CheckFinding, Fix
+from .model import CheckFinding, Fix, WitnessStep
 
 __all__ = [
     "CACHE_VERSION",
@@ -37,7 +37,9 @@ __all__ = [
 ]
 
 #: Bump when the entry layout or the facts schema changes shape.
-CACHE_VERSION = 1
+#: v2: per-function flow summaries (CFG taint/leak/shared-write facts)
+#: ride inside ``ModuleFacts`` and findings may carry witness paths.
+CACHE_VERSION = 2
 
 #: Cache file name when ``--cache`` is not given (created under the
 #: analyzed root; gitignored).
@@ -67,6 +69,8 @@ def finding_to_dict(finding: CheckFinding) -> Dict[str, object]:
             "end": list(finding.fix.end),
             "replacement": finding.fix.replacement,
         }
+    if finding.flow:
+        payload["flow"] = [step.to_dict() for step in finding.flow]
     return payload
 
 
@@ -89,6 +93,15 @@ def finding_from_dict(payload: Dict[str, object]) -> CheckFinding:
         message=str(payload["message"]),
         remediation=str(payload["remediation"]),
         fix=fix,
+        flow=tuple(
+            WitnessStep(
+                path=str(step["path"]),
+                line=int(step["line"]),  # type: ignore[index]
+                column=int(step["column"]),  # type: ignore[index]
+                note=str(step["note"]),  # type: ignore[index]
+            )
+            for step in payload.get("flow", ())  # type: ignore[union-attr]
+        ),
     )
 
 

@@ -161,20 +161,43 @@ class CheckReport:
                 return 1
         return 0
 
-    def to_json(self) -> str:
-        """Stable JSON document (used by the CI ``static-check`` job)."""
-        payload = {
+    def to_json(self, include_stats: bool = False) -> str:
+        """Stable JSON document (used by the CI ``static-check`` job).
+
+        *include_stats* (the ``--stats`` flag) adds a ``cache`` block
+        with the incremental run's analyzed/reused counts; it is opt-in
+        so the default document stays byte-identical between cold and
+        warm runs.
+        """
+        payload: Dict[str, object] = {
             "modules_checked": self.modules_checked,
             "rules_run": self.rules_run,
             "suppressed": self.suppressed,
             "counts": self.counts_by_severity(),
             "findings": [finding.to_dict() for finding in self.findings],
         }
+        if include_stats and self.analyzed is not None:
+            payload["cache"] = {
+                "analyzed": self.analyzed,
+                "reused": self.reused,
+            }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def render_text(self) -> str:
-        """Human-readable report, one line per finding."""
-        lines = [str(finding) for finding in self.findings]
+        """Human-readable report, one line per finding.
+
+        Findings with a witness path (the flow rules) are followed by
+        the indented step-by-step trace — the same steps SARIF mode
+        emits as ``codeFlows``.
+        """
+        lines = []
+        for finding in self.findings:
+            lines.append(str(finding))
+            for number, step in enumerate(finding.flow, start=1):
+                lines.append(
+                    f"    step {number}: {step.path}:{step.line}: "
+                    f"{step.note}"
+                )
         counts = self.counts_by_severity()
         summary = ", ".join(
             f"{counts[key]} {key}" for key in ("error", "warning", "info")
@@ -353,6 +376,9 @@ class CheckEngine:
                 entries[rel] = entry
             else:
                 misses.append(rel)
+        for rel in _ripple_dependents(misses, entries):
+            misses.append(rel)
+            entries.pop(rel, None)
         for rel, fresh in self._analyze_misses(root, misses, jobs).items():
             fresh["sha"] = shas[rel]
             entries[rel] = fresh
@@ -424,6 +450,75 @@ class CheckEngine:
         return {
             rel: _analyze_one(root, rel, module_rules) for rel in misses
         }
+
+
+def _ripple_dependents(
+    misses: Sequence[str], entries: Dict[str, Dict[str, object]]
+) -> List[str]:
+    """Cached files whose flow summaries a changed file invalidates.
+
+    Interprocedural summaries (taint returns, release obligations)
+    cross module boundaries along import edges, so when a file changes,
+    every module that imports it — transitively — must be re-analyzed
+    too: its cached summaries may mention the edited callee.  Edges are
+    read from the *cached* facts (the only ones available before the
+    re-parse) and matched coarsely: ``from repro.core import shm`` and
+    ``import repro.core.shm`` both count as depending on
+    ``repro.core.shm``.  With no misses this is a no-op, keeping the
+    warm-unchanged path at zero re-analyzed modules.
+    """
+    if not misses:
+        return []
+
+    depends: Dict[str, set] = {}
+    for rel, entry in entries.items():
+        facts = entry.get("facts")
+        if not isinstance(facts, dict):
+            continue
+        sources = set()
+        for imp in facts.get("imports", ()):
+            source = imp.get("source") if isinstance(imp, dict) else None
+            if not source:
+                continue
+            sources.add(str(source))
+            for name in imp.get("names", ()):
+                sources.add(f"{source}.{name}")
+        depends[rel] = sources
+    missed_rels = set(misses)
+    missed_dotted = {
+        dotted
+        for dotted in (_ripple_name(rel) for rel in missed_rels)
+        if dotted
+    }
+    rippled: List[str] = []
+    changed = True
+    while changed:
+        changed = False
+        for rel in sorted(depends):
+            if rel in missed_rels:
+                continue
+            if depends[rel] & missed_dotted:
+                missed_rels.add(rel)
+                missed_dotted.add(_ripple_name(rel))
+                rippled.append(rel)
+                changed = True
+    return rippled
+
+
+def _ripple_name(rel: str) -> str:
+    """The dotted name a changed file is importable under.
+
+    ``src/`` files use the canonical package path; anything else (the
+    ``scripts/`` tree, test projects with a flat layout) falls back to
+    the path-derived name.  Matching stays coarse on purpose — a false
+    positive only re-analyzes one extra file.
+    """
+    from .context import _dotted_name
+
+    dotted = _dotted_name(rel)
+    if dotted or not rel.endswith(".py"):
+        return dotted
+    return rel[: -len(".py")].replace("/", ".")
 
 
 def _docs_text(root: Path) -> str:

@@ -33,6 +33,7 @@ from typing import (
 )
 
 from .context import infer_local_types, iter_scopes, walk_scope
+from .dataflow import FlowFact, FlowResolver, analyze_function
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .context import ModuleSource
@@ -191,6 +192,7 @@ class FunctionFact:
     blocking: Tuple[BlockingSite, ...] = ()
     mutated_params: Tuple[str, ...] = ()
     frozen_args: Tuple[FrozenArgFact, ...] = ()
+    flow: FlowFact = FlowFact()
 
 
 @dataclass(frozen=True)
@@ -279,6 +281,7 @@ class ModuleFacts:
                     frozen_args=tuple(
                         FrozenArgFact(**f) for f in d["frozen_args"]
                     ),
+                    flow=FlowFact.from_dict(d.get("flow", {})),
                 )
                 for d in payload.get("functions", ())
             ),
@@ -521,6 +524,7 @@ class _FactsExtractor:
             blocking=tuple(blocking),
             mutated_params=tuple(sorted(_mutated_params(scope, params))),
             frozen_args=tuple(frozen_args),
+            flow=analyze_function(scope),
         )
 
     def _class_fact(self, node: ast.ClassDef) -> ClassFact:
@@ -851,6 +855,13 @@ class ProjectGraph:
                 self._classes.setdefault(cls.name, []).append((f.rel, cls))
         self._mutating: Optional[Dict[Tuple[str, str], Set[str]]] = None
         self._cycles: Optional[List[List[str]]] = None
+        self._flow_resolver: Optional[FlowResolver] = None
+
+    def flow_resolver(self) -> FlowResolver:
+        """The shared interprocedural flow closure (built lazily once)."""
+        if self._flow_resolver is None:
+            self._flow_resolver = FlowResolver(self)
+        return self._flow_resolver
 
     def classes_named(self, name: str) -> List[Tuple[str, ClassFact]]:
         """Every ``(rel, ClassFact)`` defining class *name* project-wide."""

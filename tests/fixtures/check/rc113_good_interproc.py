@@ -1,0 +1,28 @@
+"""RC113 must stay silent: the same call shapes, deterministic values.
+
+``stamp`` returns a constant derived from its input, and the value
+handed to ``commit`` is plain data — the summaries exist but carry no
+taint, so connecting them proves nothing.
+"""
+
+
+def result_digest(ctx, payload):
+    return (ctx, payload)
+
+
+def stamp(epoch):
+    return f"epoch-{epoch}"  # deterministic: derived from the input
+
+
+def digest_stamp(ctx, epoch):
+    label = stamp(epoch)
+    return result_digest(ctx, label)
+
+
+def commit(ctx, value):
+    return result_digest(ctx, value)
+
+
+def hand_off(ctx, generation):
+    label = f"g{generation}"
+    return commit(ctx, label)

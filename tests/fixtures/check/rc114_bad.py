@@ -1,0 +1,28 @@
+"""RC114 must fire: acquisitions leak on at least one CFG path.
+
+``leak_on_raise`` misses the exception edge (the classic shape), and
+``leak_on_branch`` misses an early return — both definite leaks the
+path search pinpoints.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def parse(handle):
+    return handle.read()
+
+
+def leak_on_raise(path):
+    handle = open(path)
+    data = parse(handle)  # if parse raises, handle never closes
+    handle.close()
+    return data
+
+
+def leak_on_branch(name, skip):
+    segment = SharedMemory(name=name, create=True)
+    if skip:
+        return None  # leaks the segment
+    segment.close()
+    segment.unlink()
+    return name

@@ -1,0 +1,16 @@
+"""RC114 must fire: the only covering call provably never releases.
+
+Every statement between the acquire and the exit hands the handle to
+``consume`` — so the leak verdict hinges entirely on the callee
+summary, which shows ``consume`` never calls a release method on its
+parameter.
+"""
+
+
+def consume(handle):
+    return handle.read()  # reads, never closes
+
+
+def delegate(path):
+    handle = open(path)
+    return consume(handle)

@@ -1,0 +1,41 @@
+"""RC114 must stay silent: every path reaches the release.
+
+The same shapes as the bad twin with the exception edge covered: a
+``finally`` block, a context manager, and an early-return branch that
+releases first.  ``hand_back`` transfers ownership by returning the
+handle — the caller releases, not this frame.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def parse(handle):
+    return handle.read()
+
+
+def close_in_finally(path):
+    handle = open(path)
+    try:
+        return parse(handle)
+    finally:
+        handle.close()
+
+
+def context_manager(path):
+    with open(path) as handle:
+        return parse(handle)
+
+
+def release_both_branches(name, skip):
+    segment = SharedMemory(name=name, create=True)
+    if skip:
+        segment.close()
+        return None
+    segment.close()
+    segment.unlink()
+    return name
+
+
+def hand_back(path):
+    handle = open(path)
+    return handle  # ownership transfers to the caller

@@ -1,0 +1,28 @@
+"""RC114 must stay silent: the callee summary discharges the release.
+
+Identical call shape to the bad twin, but ``consume`` provably closes
+its parameter on every path (the ``finally`` covers the read's raise
+edge), so handing the handle over *is* the release — directly in
+``delegate``, and through one more hop in ``relay``.
+"""
+
+
+def consume(handle):
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def relay(handle):
+    return consume(handle)  # releasing is transitive
+
+
+def delegate(path):
+    handle = open(path)
+    return consume(handle)
+
+
+def delegate_twice(path):
+    handle = open(path)
+    return relay(handle)

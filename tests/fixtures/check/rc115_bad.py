@@ -1,0 +1,14 @@
+"""RC115 must fire: an async method writes shared state unlocked and a
+second handler can reach the same write concurrently."""
+# repro-check: module=repro.serve.state
+
+
+class SnapshotHolder:
+    def __init__(self):
+        self._generation = 0  # constructor writes are exempt
+
+    async def handle_reload(self, snapshot):
+        self._generation = self._generation + 1  # unlocked write
+
+    async def handle_update(self, delta):
+        await self.handle_reload(delta)  # second route to the write

@@ -1,0 +1,21 @@
+"""RC115 must fire: the unlocked write sits in a *sync* helper, and
+only the call graph connects it to the two async handlers.
+
+``_apply`` on its own looks single-threaded; the summaries show both
+coroutines funnel into it, so its rebind races under concurrent load.
+"""
+# repro-check: module=repro.serve.state
+
+
+class SnapshotHolder:
+    def __init__(self):
+        self._generation = 0
+
+    async def handle_reload(self, snapshot):
+        self._apply()
+
+    async def handle_update(self, delta):
+        self._apply()
+
+    def _apply(self):
+        self._generation = self._generation + 1  # unlocked, 2 handlers

@@ -1,0 +1,18 @@
+"""RC115 must stay silent: the same two-handler reachability, but the
+write happens under the lock."""
+# repro-check: module=repro.serve.state
+
+import asyncio
+
+
+class SnapshotHolder:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+        self._generation = 0
+
+    async def handle_reload(self, snapshot):
+        async with self._lock:
+            self._generation = self._generation + 1
+
+    async def handle_update(self, delta):
+        await self.handle_reload(delta)

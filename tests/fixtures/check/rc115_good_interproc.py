@@ -1,0 +1,22 @@
+"""RC115 must stay silent: both handlers funnel into the helper, but
+the helper takes the lock around the rebind — it *is* the serialized
+apply path."""
+# repro-check: module=repro.serve.state
+
+import threading
+
+
+class SnapshotHolder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    async def handle_reload(self, snapshot):
+        self._apply()
+
+    async def handle_update(self, delta):
+        self._apply()
+
+    def _apply(self):
+        with self._lock:
+            self._generation = self._generation + 1

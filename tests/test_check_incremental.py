@@ -166,6 +166,51 @@ def test_project_rules_see_cached_facts(project):
         assert "dead_export" in report.findings[0].message
 
 
+def test_cache_version_bump_invalidates_everything(project, monkeypatch):
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    # A shipped format change bumps CACHE_VERSION; every entry written
+    # under the old version must be discarded, never reinterpreted.
+    import repro.check.engine as engine_mod
+
+    monkeypatch.setattr(
+        engine_mod, "CACHE_VERSION", engine_mod.CACHE_VERSION + 1
+    )
+    bumped = _analyze(project, cache)
+    assert bumped.analyzed == 2 and bumped.reused == 0
+
+
+def test_import_edge_ripple_reanalyzes_dependents(project):
+    # leaf.py is imported by user.py: touching the leaf must also
+    # re-analyze the dependent, or its interprocedural facts go stale.
+    (project / "leaf.py").write_text("def helper():\n    return 1\n")
+    (project / "user.py").write_text(
+        "import leaf\n\n\ndef use():\n    return leaf.helper()\n"
+    )
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache)
+    assert cold.analyzed == 4
+    (project / "leaf.py").write_text("def helper():\n    return 2\n")
+    warm = _analyze(project, cache)
+    # leaf.py (content change) + user.py (ripple); the two unrelated
+    # files stay cached.
+    assert warm.analyzed == 2 and warm.reused == 2
+    assert warm.to_json() == cold.to_json()
+    assert warm.render_text() == cold.render_text()
+
+
+def test_ripple_is_transitive(project):
+    (project / "leaf.py").write_text("def helper():\n    return 1\n")
+    (project / "mid.py").write_text("import leaf\n")
+    (project / "top.py").write_text("import mid\n")
+    cache = project / DEFAULT_CACHE_NAME
+    _analyze(project, cache)
+    (project / "leaf.py").write_text("def helper():\n    return 2\n")
+    warm = _analyze(project, cache)
+    # leaf + mid + top re-analyzed; bad.py/clean.py reused.
+    assert warm.analyzed == 3 and warm.reused == 2
+
+
 def test_parallel_jobs_match_serial_output(project):
     serial = _analyze(project, None, select=("RC103", "RC106"))
     parallel = _analyze(
@@ -251,6 +296,60 @@ def test_sarif_severity_level_mapping(project):
     assert levels == {"note"}  # SARIF spells info "note"
 
 
+TAINTED_SOURCE = (
+    "import time\n"
+    "\n"
+    "\n"
+    "def result_digest(payload):\n"
+    "    return payload\n"
+    "\n"
+    "\n"
+    "def stamp_and_commit():\n"
+    "    stamp = time.time()\n"
+    "    result_digest(stamp)\n"
+)
+
+
+def test_sarif_flow_findings_carry_code_flows(project):
+    (project / "tainted.py").write_text(TAINTED_SOURCE)
+    document, report = _sarif_for(project, select=("RC113",))
+    flow_findings = [f for f in report.findings if f.flow]
+    assert flow_findings, "RC113 produced no witness path"
+    flowed = [
+        result
+        for result in document["runs"][0]["results"]
+        if "codeFlows" in result
+    ]
+    assert len(flowed) == len(flow_findings)
+    for result in flowed:
+        (code_flow,) = result["codeFlows"]
+        (thread_flow,) = code_flow["threadFlows"]
+        locations = thread_flow["locations"]
+        assert len(locations) >= 2  # source step plus sink step
+        for location in locations:
+            physical = location["location"]["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "tainted.py"
+            assert physical["region"]["startLine"] >= 1
+            assert location["location"]["message"]["text"]
+
+
+def test_text_report_renders_witness_steps(project):
+    (project / "tainted.py").write_text(TAINTED_SOURCE)
+    report = _analyze(project, None, select=("RC113",))
+    text = report.render_text()
+    assert "step 1:" in text and "step 2:" in text
+
+
+def test_stats_opt_in_json_shape(project):
+    cache = project / DEFAULT_CACHE_NAME
+    cold = _analyze(project, cache)
+    plain = json.loads(cold.to_json())
+    assert "cache" not in plain  # stats stay out unless asked for
+    warm = _analyze(project, cache)
+    stats = json.loads(warm.to_json(include_stats=True))
+    assert stats["cache"] == {"analyzed": 0, "reused": 2}
+
+
 # -- CLI surface ----------------------------------------------------------
 
 
@@ -271,6 +370,43 @@ def test_cli_sarif_format(project, capsys):
     assert code == 1
     document = json.loads(captured.out)
     assert document["version"] == SARIF_VERSION
+
+
+def test_cli_stats_flag_reports_cache_counters(project, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "check",
+            "--root", str(project),
+            "--select", "RC106",
+            "--format", "json",
+            "--stats",
+            "--no-cache",
+            "--fail-on", "never",
+            ".",
+        ]
+    )
+    assert code == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["cache"] == {"analyzed": 2, "reused": 0}
+
+
+def test_cli_explain_prints_rule_model(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--explain", "RC113"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("RC113:")
+    assert "Remediation:" in out
+    assert "Worked example:" in out
+
+
+def test_cli_explain_unknown_code_fails(capsys):
+    from repro.cli import main
+
+    assert main(["check", "--explain", "RC999"]) == 1
+    assert "RC999" in capsys.readouterr().err
 
 
 def test_cli_cache_and_jobs_flags(project, capsys):
